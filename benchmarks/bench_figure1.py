@@ -1,0 +1,22 @@
+"""Benchmark target regenerating Figure 1 (provider page-load comparison)."""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.benchmarks.figure1 import run_figure1
+
+
+def test_figure1_page_loads(benchmark):
+    report = benchmark.pedantic(run_figure1, rounds=1, iterations=1)
+    emit(report)
+    baqend = {
+        (row["region"]): row["first_load_seconds"]
+        for row in report.rows
+        if row["provider"] == "Baqend"
+    }
+    others = [
+        row["first_load_seconds"] for row in report.rows if row["provider"] != "Baqend"
+    ]
+    # CDN-backed delivery must beat every origin-only provider in every region.
+    assert max(baqend.values()) < min(others)

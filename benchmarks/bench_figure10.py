@@ -1,0 +1,31 @@
+"""Benchmark target regenerating Figure 10 (staleness vs EBF refresh interval)."""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.benchmarks.figure10 import run_figure10
+
+
+def test_figure10_staleness(benchmark, scale):
+    report = benchmark.pedantic(
+        run_figure10,
+        kwargs={
+            "scale": scale,
+            "refresh_intervals": [1.0, 10.0, 30.0],
+            "client_counts": [10, 30],
+        },
+        rounds=1,
+        iterations=1,
+    )
+    emit(report)
+
+    for clients in {row["clients"] for row in report.rows}:
+        rows = sorted(
+            (row for row in report.rows if row["clients"] == clients),
+            key=lambda row: row["refresh_interval_s"],
+        )
+        # Staleness grows (or at least does not shrink much) with the refresh interval.
+        assert rows[-1]["query_stale_rate"] >= rows[0]["query_stale_rate"] - 0.05
+        # Query staleness should be at least as high as record staleness (higher hit rates).
+        assert rows[-1]["query_stale_rate"] >= rows[-1]["read_stale_rate"] - 0.05

@@ -1,0 +1,25 @@
+"""Benchmark target regenerating Figure 11 (estimated vs true TTL CDFs)."""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.benchmarks.figure11 import run_figure11
+
+
+def test_figure11_ttl_estimation(benchmark, scale):
+    report = benchmark.pedantic(
+        run_figure11, kwargs={"scale": scale}, rounds=1, iterations=1
+    )
+    emit(report)
+
+    rows = sorted(report.rows, key=lambda row: row["ttl_seconds"])
+    estimated = [row["estimated_cdf"] for row in rows]
+    true_cdf = [row["true_cdf"] for row in rows]
+    # Both are CDFs: monotonically non-decreasing and bounded by 1.
+    assert all(b >= a - 1e-9 for a, b in zip(estimated, estimated[1:]))
+    assert all(b >= a - 1e-9 for a, b in zip(true_cdf, true_cdf[1:]))
+    assert max(estimated) <= 1.0 and max(true_cdf) <= 1.0
+    # The distributions roughly track each other over the bulk of the mass.
+    deviations = [abs(a - b) for a, b in zip(estimated, true_cdf)]
+    assert sum(deviations) / len(deviations) < 0.45

@@ -1,0 +1,30 @@
+"""Benchmark target regenerating Figure 12 (InvaliDB scalability)."""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.benchmarks.figure12 import LATENCY_BOUNDS, run_figure12
+
+
+def test_figure12_invalidb_scalability(benchmark):
+    report = benchmark.pedantic(
+        run_figure12, kwargs={"node_counts": [1, 2, 4, 8, 16]}, rounds=1, iterations=1
+    )
+    emit(report)
+
+    for bound in LATENCY_BOUNDS:
+        rows = sorted(
+            (row for row in report.rows if abs(row["latency_bound_ms"] - bound * 1000.0) < 1e-6),
+            key=lambda row: row["matching_nodes"],
+        )
+        throughputs = [row["sustainable_throughput_ops"] for row in rows]
+        nodes = [row["matching_nodes"] for row in rows]
+        # Linear scaling: doubling the node count doubles sustainable throughput.
+        for (n1, t1), (n2, t2) in zip(zip(nodes, throughputs), zip(nodes[1:], throughputs[1:])):
+            assert abs((t2 / t1) - (n2 / n1)) < 1e-6
+        # Per-node capacity in the single-digit millions of ops/s.
+        per_node = throughputs[0] / nodes[0]
+        assert 1_000_000 < per_node < 6_000_000
+    # The micro exercise actually produced notifications through the real pipeline.
+    assert all(row["micro_notifications"] > 0 for row in report.rows)

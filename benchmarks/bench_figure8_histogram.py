@@ -1,0 +1,23 @@
+"""Benchmark target regenerating Figure 8f (query latency histogram)."""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.benchmarks.figure8 import run_figure8_histogram
+
+
+def test_figure8f_histogram(benchmark, scale):
+    report = benchmark.pedantic(
+        run_figure8_histogram, kwargs={"scale": scale}, rounds=1, iterations=1
+    )
+    emit(report)
+
+    buckets = {row["bucket_ms"]: row["count"] for row in report.rows}
+    total = sum(buckets.values())
+    assert total > 0
+    # The bulk of the distribution sits in the lowest bucket (client cache hits).
+    lowest_bucket = min(buckets)
+    assert buckets[lowest_bucket] > 0.4 * total
+    # And there is a long-latency tail of cache misses (> 100 ms).
+    assert any(bucket >= 100.0 for bucket in buckets)

@@ -1,0 +1,23 @@
+"""Benchmark target regenerating Figure 8e (cache hit rates vs query count)."""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.benchmarks.figure8 import run_figure8_hit_rates
+
+
+def test_figure8e_hit_rates(benchmark, scale):
+    report = benchmark.pedantic(
+        run_figure8_hit_rates,
+        kwargs={"scale": scale, "query_count_steps": [60, 240, 480]},
+        rounds=1,
+        iterations=1,
+    )
+    emit(report)
+
+    client_hits = report.column("client_query_hit_rate")
+    # The client query hit rate must decline as the number of distinct queries grows.
+    assert client_hits[-1] <= client_hits[0]
+    # Hit rates stay meaningful (caching is actually happening).
+    assert client_hits[0] > 0.3

@@ -1,0 +1,21 @@
+"""Benchmark target regenerating Figure 8d (latency vs distinct query count)."""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.benchmarks.figure8 import run_figure8_query_count
+
+
+def test_figure8d_query_count(benchmark, scale):
+    report = benchmark.pedantic(
+        run_figure8_query_count,
+        kwargs={"scale": scale, "query_count_steps": [60, 240, 480]},
+        rounds=1,
+        iterations=1,
+    )
+    emit(report)
+
+    query_latencies = report.column("mean_query_latency_ms")
+    # More distinct queries -> lower client hit rates -> higher query latency.
+    assert query_latencies[-1] >= query_latencies[0]

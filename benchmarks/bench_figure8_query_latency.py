@@ -1,0 +1,28 @@
+"""Benchmark target regenerating Figure 8c (query latency vs connections)."""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.benchmarks.figure8 import run_figure8_query_latency
+from repro.simulation.simulator import CachingMode
+
+
+def test_figure8c_query_latency(benchmark, scale):
+    report = benchmark.pedantic(
+        run_figure8_query_latency,
+        kwargs={"scale": scale, "connection_steps": [60, 240]},
+        rounds=1,
+        iterations=1,
+    )
+    emit(report)
+
+    last = max(row["connections"] for row in report.rows)
+    by_mode = {
+        row["mode"]: row["mean_query_latency_ms"]
+        for row in report.rows
+        if row["connections"] == last
+    }
+    # Cached query latency must be an order of magnitude below the uncached baseline.
+    assert by_mode[CachingMode.QUAESTOR.value] < 0.2 * by_mode[CachingMode.UNCACHED.value]
+    assert by_mode[CachingMode.QUAESTOR.value] < 20.0

@@ -1,0 +1,28 @@
+"""Benchmark target regenerating Figure 8a (throughput vs connections)."""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.benchmarks.figure8 import run_figure8_throughput
+from repro.simulation.simulator import CachingMode
+
+
+def test_figure8a_throughput(benchmark, scale):
+    report = benchmark.pedantic(
+        run_figure8_throughput,
+        kwargs={"scale": scale, "connection_steps": [60, 120, 240]},
+        rounds=1,
+        iterations=1,
+    )
+    emit(report)
+
+    # At the highest connection count, Quaestor must clearly beat the uncached
+    # baseline and the EBF-only variant (the paper reports ~11x and ~5x).
+    last = max(row["connections"] for row in report.rows)
+    by_mode = {
+        row["mode"]: row["throughput"] for row in report.rows if row["connections"] == last
+    }
+    assert by_mode[CachingMode.QUAESTOR.value] > 3.0 * by_mode[CachingMode.UNCACHED.value]
+    assert by_mode[CachingMode.QUAESTOR.value] > by_mode[CachingMode.EBF_ONLY.value]
+    assert by_mode[CachingMode.QUAESTOR.value] > by_mode[CachingMode.CDN_ONLY.value]

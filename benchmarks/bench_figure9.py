@@ -1,0 +1,27 @@
+"""Benchmark target regenerating Figure 9 (hit rates vs update rate)."""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.benchmarks.figure9 import run_figure9
+
+
+def test_figure9_update_rates(benchmark, scale):
+    report = benchmark.pedantic(
+        run_figure9,
+        kwargs={"scale": scale, "update_rates": [0.0, 0.10, 0.20]},
+        rounds=1,
+        iterations=1,
+    )
+    emit(report)
+
+    # For every series, the hit rate must not improve as the update rate grows.
+    series_names = {row["series"] for row in report.rows}
+    for series in series_names:
+        rows = sorted(
+            (row for row in report.rows if row["series"] == series),
+            key=lambda row: row["update_rate"],
+        )
+        first, last = rows[0], rows[-1]
+        assert last["query_cache_hit_rate"] <= first["query_cache_hit_rate"] + 0.05

@@ -1,0 +1,23 @@
+"""Benchmark target regenerating Table 1 (latency vs database size)."""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.benchmarks.table1 import run_table1
+
+
+def test_table1_document_counts(benchmark, scale):
+    report = benchmark.pedantic(
+        run_table1,
+        kwargs={"scale": scale, "document_counts": [1_000, 4_000, 12_000]},
+        rounds=1,
+        iterations=1,
+    )
+    emit(report)
+
+    rows = sorted(report.rows, key=lambda row: row["documents"])
+    assert len(rows) == 3
+    # Latencies stay far below the uncached wide-area round trip at every size.
+    assert all(row["query_latency_ms"] < 120.0 for row in rows)
+    assert all(row["read_latency_ms"] < 150.0 for row in rows)

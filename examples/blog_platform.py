@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""A social blogging platform: sorted feeds, tag queries and consistency levels.
+
+The paper's running example is a social blogging application whose clients
+query posts by tag.  This example models a small editorial workflow on top of
+the public API:
+
+* readers load the front page (a sorted, limited feed -- a *stateful* query
+  for InvaliDB) and tag pages,
+* authors publish and edit posts,
+* one "audit" reader opts into strong consistency and always sees the latest
+  state, while normal readers accept the Delta-atomicity bound,
+* an optimistic transaction moves a post between categories and demonstrates
+  abort-on-conflict.
+
+Run with:  python examples/blog_platform.py
+"""
+
+from __future__ import annotations
+
+from repro.caching import InvalidationCache
+from repro.clock import VirtualClock
+from repro.client import QuaestorClient
+from repro.core import ConsistencyLevel, QuaestorConfig, QuaestorServer
+from repro.db import Database, Query
+from repro.errors import TransactionAbortedError
+from repro.invalidb import InvaliDBCluster
+
+
+def build_platform():
+    clock = VirtualClock()
+    database = Database(clock=clock)
+    posts = database.create_collection("posts")
+    posts.create_index("category")
+    for index in range(50):
+        posts.insert(
+            {
+                "_id": f"post-{index:03d}",
+                "title": f"Blog post {index}",
+                "category": "tech" if index % 3 == 0 else "life",
+                "tags": ["example"] if index % 5 == 0 else ["misc"],
+                "likes": index % 17,
+                "author": f"author-{index % 5}",
+            }
+        )
+    server = QuaestorServer(
+        database, config=QuaestorConfig(), invalidb=InvaliDBCluster(matching_nodes=4)
+    )
+    cdn = InvalidationCache("cdn", clock)
+    server.register_purge_target(cdn)
+    return clock, database, server, cdn
+
+
+def main() -> None:
+    clock, database, server, cdn = build_platform()
+
+    reader = QuaestorClient(server, cdn=cdn, clock=clock, refresh_interval=5.0, name="reader")
+    auditor = QuaestorClient(
+        server,
+        cdn=cdn,
+        clock=clock,
+        refresh_interval=5.0,
+        consistency=ConsistencyLevel.STRONG,
+        name="auditor",
+    )
+    author = QuaestorClient(server, cdn=cdn, clock=clock, refresh_interval=5.0, name="author")
+    for client in (reader, auditor, author):
+        client.connect()
+
+    # --- the front page: a sorted, limited feed (stateful query). ----------------------
+    front_page = Query("posts", {"category": "tech"}, sort=[("likes", -1)], limit=5)
+    feed = reader.query(front_page)
+    print("front page (top tech posts by likes):")
+    for post in feed.value:
+        print(f"   {post['_id']}  likes={post['likes']}")
+    print(f"   served by: {feed.level}")
+
+    # --- tag page, twice: the second load is a cache hit. --------------------------------
+    tag_page = Query("posts", {"tags": "example"})
+    print(f"\ntag page 1st load: {reader.query(tag_page).level}")
+    print(f"tag page 2nd load: {reader.query(tag_page).level}")
+
+    # --- an author boosts a post into the front page. -------------------------------------
+    print("\nauthor gives post-001 a hundred likes ...")
+    author.update("posts", "post-001", {"$set": {"category": "tech", "likes": 100}})
+
+    clock.advance(1.0)
+    stale_feed = reader.query(front_page)
+    fresh_feed = auditor.query(front_page)
+    print(f"reader (Delta-atomic) top post:  {stale_feed.value[0]['_id']} via {stale_feed.level}")
+    print(f"auditor (strong)      top post:  {fresh_feed.value[0]['_id']} via {fresh_feed.level}")
+
+    clock.advance(6.0)
+    refreshed = reader.query(front_page)
+    print(f"reader after EBF refresh:        {refreshed.value[0]['_id']} via {refreshed.level}")
+
+    # --- read-your-writes for the author. ---------------------------------------------------
+    own = author.read("posts", "post-001")
+    print(f"\nauthor reads own post: likes={own.value['likes']} (read-your-writes, via {own.level})")
+
+    # --- optimistic transaction: concurrent edit forces an abort. -----------------------------
+    print("\nmoving post-002 to 'life' inside a transaction while someone edits it ...")
+    txn = author.begin_transaction()
+    post = txn.read("posts", "post-002")
+    txn.update("posts", "post-002", {"$set": {"category": "life"}})
+    # A conflicting write sneaks in before commit.
+    reader.update("posts", "post-002", {"$inc": {"likes": 1}})
+    try:
+        txn.commit()
+        print("   transaction committed (unexpected)")
+    except TransactionAbortedError as error:
+        print(f"   transaction aborted as expected: {error}")
+
+    retry = author.begin_transaction()
+    retry.read("posts", "post-002")
+    retry.update("posts", "post-002", {"$set": {"category": "life"}})
+    retry.commit()
+    print("   retry committed; post-002 category:", database.get("posts", "post-002")["category"])
+
+    print("\nserver statistics:", server.statistics())
+
+
+if __name__ == "__main__":
+    main()

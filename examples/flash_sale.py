@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Flash-sale scenario: a TV-featured shop survives a flash crowd on two servers.
+
+The paper reports a production result: an e-commerce shop featured in a TV
+show with 3.5 million viewers served 50,000 concurrent users and more than
+20,000 HTTP requests per second with only two DBaaS servers and two MongoDB
+shards, because the CDN cache hit rate reached 98 %.
+
+This example reproduces the *mechanism* behind that anecdote with the Monte
+Carlo simulator: a read-heavy flash crowd (product listings + article pages
+with stock counters that change occasionally) is thrown at a Quaestor
+deployment and at an uncached baseline, and the origin load of both is
+compared.  The point is not the absolute request volume but the collapse of
+origin traffic once the CDN and the client caches absorb the crowd.
+
+Run with:  python examples/flash_sale.py
+"""
+
+from __future__ import annotations
+
+from repro.simulation import CachingMode, SimulationConfig, Simulator
+from repro.workloads import DatasetSpec, WorkloadSpec
+
+
+def run_flash_sale(mode: CachingMode):
+    config = SimulationConfig(
+        mode=mode,
+        # Product listings and article pages: almost everything is a read or a
+        # query; stock counters produce a small trickle of updates.
+        workload=WorkloadSpec(
+            read_proportion=0.50,
+            query_proportion=0.49,
+            update_proportion=0.01,
+            zipf_constant=0.9,
+        ),
+        dataset=DatasetSpec(
+            num_tables=3, documents_per_table=1_000, queries_per_table=40, seed=3
+        ),
+        num_clients=20,
+        connections_per_client=30,
+        ebf_refresh_interval=5.0,
+        matching_nodes=4,
+        duration=120.0,
+        max_operations=8_000,
+        seed=99,
+    )
+    return Simulator(config).run()
+
+
+def origin_share(result) -> float:
+    """Fraction of read/query operations that had to be answered by the origin."""
+    origin = 0
+    total = 0
+    for op_class in ("read", "query"):
+        counts = result.level_counts[op_class]
+        origin += counts.get("origin", 0)
+        total += sum(counts.values())
+    return origin / total if total else 0.0
+
+
+def main() -> None:
+    print("simulating the flash crowd with full Quaestor caching ...")
+    cached = run_flash_sale(CachingMode.QUAESTOR)
+    print("simulating the same crowd without web caching ...")
+    uncached = run_flash_sale(CachingMode.UNCACHED)
+
+    cached_origin = origin_share(cached)
+    uncached_origin = origin_share(uncached)
+
+    print("\n--- flash sale summary -------------------------------------------------")
+    print(f"throughput (cached):    {cached.throughput:10.0f} ops/s")
+    print(f"throughput (uncached):  {uncached.throughput:10.0f} ops/s")
+    print(f"speed-up:               {cached.throughput / max(1.0, uncached.throughput):10.1f} x")
+    print(f"origin share (cached):  {cached_origin:10.1%} of reads/queries")
+    print(f"origin share (uncached):{uncached_origin:10.1%} of reads/queries")
+    combined_hit_rate = 1.0 - cached_origin
+    print(f"combined cache hit rate:{combined_hit_rate:10.1%}  (paper's production shop: ~98 %)")
+    print(f"mean query latency:     {cached.query_latency.mean * 1000:10.1f} ms (cached)")
+    print(f"                        {uncached.query_latency.mean * 1000:10.1f} ms (uncached)")
+    print(
+        "\nwith caching, the origin only sees the small uncachable remainder of the "
+        "traffic -- which is how two DBaaS servers can survive a televised flash crowd."
+    )
+
+
+if __name__ == "__main__":
+    main()

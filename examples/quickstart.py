@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Quickstart: cache a query, watch it being invalidated, stay within Delta.
+
+This walks through the end-to-end example of Section 5 of the paper:
+
+1. A client connects and receives the (initially empty) Expiring Bloom Filter.
+2. It runs a query; the result comes from the origin, gets a TTL and is cached
+   in the browser cache and the CDN.
+3. Repeating the query is a client-cache hit (zero network round trips).
+4. A write changes the query result: InvaliDB detects it, the server adds the
+   query to the EBF and purges the CDN.
+5. Until the client refreshes its EBF copy, it may still serve the bounded-
+   stale cached result; after the refresh the query is revalidated and fresh.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.caching import InvalidationCache
+from repro.clock import VirtualClock
+from repro.client import QuaestorClient
+from repro.core import QuaestorConfig, QuaestorServer
+from repro.db import Database, Query
+from repro.invalidb import InvaliDBCluster
+
+
+def main() -> None:
+    # --- deployment: database, Quaestor server, CDN. -------------------------------
+    clock = VirtualClock()
+    database = Database(clock=clock)
+    posts = database.create_collection("posts")
+    posts.create_index("tags")
+    for index in range(20):
+        posts.insert(
+            {
+                "_id": f"post-{index}",
+                "title": f"Post {index}",
+                "tags": ["example"] if index % 2 == 0 else ["other"],
+                "views": index * 10,
+            }
+        )
+
+    server = QuaestorServer(
+        database, config=QuaestorConfig(), invalidb=InvaliDBCluster(matching_nodes=4)
+    )
+    cdn = InvalidationCache("cdn", clock)
+    server.register_purge_target(cdn)
+
+    # --- a browser client with a 10-second staleness bound (Delta). -----------------
+    client = QuaestorClient(server, cdn=cdn, clock=clock, refresh_interval=10.0)
+    client.connect()
+
+    tagged_example = Query("posts", {"tags": "example"})
+
+    first = client.query(tagged_example)
+    print(f"1st query: served by {first.level!r:8} with {len(first.value)} posts")
+
+    second = client.query(tagged_example)
+    print(f"2nd query: served by {second.level!r:8} (client cache hit, zero latency)")
+
+    record = client.read("posts", "post-0")
+    print(f"record read: served by {record.level!r:8} (cached as a query side effect)")
+
+    # --- a write invalidates the cached query result. --------------------------------
+    print("\nwriting: post-1 gains the 'example' tag ...")
+    client.update("posts", "post-1", {"$set": {"tags": ["example", "other"]}})
+    print(f"   server stats: {server.statistics()}")
+
+    clock.advance(2.0)
+    stale = client.query(tagged_example)
+    print(
+        f"query 2s after the write: served by {stale.level!r:8} with {len(stale.value)} posts "
+        "(bounded staleness: the EBF copy is still the old one)"
+    )
+
+    clock.advance(10.0)
+    fresh = client.query(tagged_example)
+    print(
+        f"query after the EBF refresh interval: served by {fresh.level!r:8} with "
+        f"{len(fresh.value)} posts (revalidated, now fresh)"
+    )
+
+    print("\nclient counters:", client.counters.as_dict())
+    print("CDN statistics:  ", cdn.stats.as_dict())
+
+
+if __name__ == "__main__":
+    main()

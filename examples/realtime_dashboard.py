@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Real-time dashboard: query subscriptions instead of EBF polling.
+
+Section 3.2 of the paper mentions that clients can subscribe directly to
+query result change streams (the same streams that feed the Expiring Bloom
+Filter) — the right choice for applications with a well-defined critical data
+set, such as dashboards.  This example runs a small operations dashboard for
+an e-commerce backend:
+
+* a subscription on "orders awaiting shipment" keeps a worklist current,
+* a subscription on the "low stock" query alerts as soon as a product's
+  counter drops below a threshold,
+* a regular (EBF-governed) client renders the rest of the catalogue.
+
+Run with:  python examples/realtime_dashboard.py
+"""
+
+from __future__ import annotations
+
+from repro.caching import InvalidationCache
+from repro.clock import VirtualClock
+from repro.client import QuaestorClient, SubscriptionManager
+from repro.core import QuaestorConfig, QuaestorServer
+from repro.db import Database, Query
+from repro.invalidb import InvaliDBCluster, NotificationType
+
+
+def build_shop():
+    clock = VirtualClock()
+    database = Database(clock=clock)
+    products = database.create_collection("products")
+    products.create_index("category")
+    for index in range(12):
+        products.insert(
+            {
+                "_id": f"prod-{index:02d}",
+                "name": f"Product {index}",
+                "category": "gadgets" if index % 2 == 0 else "apparel",
+                "stock": 20 + index,
+                "price": 10 + index,
+            }
+        )
+    orders = database.create_collection("orders")
+    orders.create_index("status")
+    server = QuaestorServer(
+        database, config=QuaestorConfig(), invalidb=InvaliDBCluster(matching_nodes=4)
+    )
+    cdn = InvalidationCache("cdn", clock)
+    server.register_purge_target(cdn)
+    return clock, database, server, cdn
+
+
+def main() -> None:
+    clock, database, server, cdn = build_shop()
+
+    # --- the dashboard's critical data set, kept fresh in real time. ----------------
+    dashboard = SubscriptionManager(server)
+    open_orders = dashboard.subscribe(
+        Query("orders", {"status": "awaiting-shipment"}, sort=[("placed_at", 1)])
+    )
+    low_stock = dashboard.subscribe(Query("products", {"stock": {"$lt": 5}}))
+
+    open_orders.on_change(
+        lambda kind, order_id, snapshot: print(
+            f"   [orders]   {kind.value:11s} {order_id}  ({len(snapshot)} awaiting shipment)"
+        )
+    )
+    low_stock.on_change(
+        lambda kind, product_id, snapshot: print(
+            f"   [low-stock] {kind.value:11s} {product_id}  ({len(snapshot)} products low)"
+        )
+    )
+
+    # --- a normal storefront client (EBF-governed caching). --------------------------
+    storefront = QuaestorClient(server, cdn=cdn, clock=clock, refresh_interval=10.0)
+    storefront.connect()
+    gadgets = Query("products", {"category": "gadgets"})
+    print(f"storefront gadgets page: {len(storefront.query(gadgets).value)} products "
+          f"(served by {storefront.query(gadgets).level})")
+
+    # --- business happens: orders arrive, stock drains. -------------------------------
+    print("\ncustomers start ordering ...")
+    for order_number in range(4):
+        clock.advance(1.0)
+        product_id = f"prod-{order_number:02d}"
+        server.handle_insert(
+            "orders",
+            {
+                "_id": f"order-{order_number}",
+                "product": product_id,
+                "status": "awaiting-shipment",
+                "placed_at": clock.now(),
+            },
+        )
+        # Each order drains the product's stock counter substantially.
+        server.handle_update("products", product_id, {"$inc": {"stock": -18}})
+
+    print("\nwarehouse ships the first two orders ...")
+    for order_number in range(2):
+        clock.advance(0.5)
+        server.handle_update("orders", f"order-{order_number}", {"$set": {"status": "shipped"}})
+
+    # --- final state of the dashboard. --------------------------------------------------
+    print("\ndashboard state:")
+    print(f"   awaiting shipment: {[doc['_id'] for doc in open_orders.result()]}")
+    print(f"   low stock:         {[doc['_id'] for doc in low_stock.result()]}")
+    print(f"   change events processed: orders={len(open_orders.events)}, "
+          f"low-stock={len(low_stock.events)}")
+
+    # The storefront client still enjoys plain cached reads with its Delta bound.
+    print(f"\nstorefront gadgets page again: served by {storefront.query(gadgets).level}")
+
+    dashboard.close()
+    print("dashboard closed; subscriptions detached.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+"""Figure 1: first-load page latency across BaaS providers and regions.
+
+The paper's Figure 1 loads a simple data-driven news site from four EC2
+regions with a cold browser cache and a warm CDN cache, comparing Baqend
+(which serves records and files from the CDN) with four commercial BaaS
+providers that always answer from their origin.
+
+The original experiment depends on the public deployments of those providers,
+so this harness models it instead: a page load issues a fixed number of
+sequential request rounds (HTML, scripts, data requests) over a handful of
+browser connections.  For the CDN-backed provider every round costs one CDN
+round trip; for origin-only providers every round costs the wide-area round
+trip of the client's region.  The absolute numbers are synthetic, but the
+figure's message -- CDN-backed data delivery is fast from everywhere, origin
+round trips dominate everywhere else -- reproduces directly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.metrics.reporter import ExperimentReport
+from repro.simulation.latency import REGION_RTT_SECONDS
+
+
+@dataclass(frozen=True)
+class PageLoadModel:
+    """A crude but explicit first-load model."""
+
+    #: HTTP requests needed for the first page view (HTML, JS, CSS, data).
+    total_requests: int = 60
+    #: Concurrent browser connections per origin.
+    parallel_connections: int = 6
+    #: Extra connection setup cost (DNS + TCP + TLS), paid once per origin.
+    connection_setup_round_trips: int = 3
+    #: Server processing time per request at the origin (seconds).
+    origin_processing: float = 0.030
+    #: CDN edge round trip (seconds), independent of the client's region.
+    cdn_round_trip: float = 0.004
+
+    def request_rounds(self) -> int:
+        """Sequential request waves given the connection limit."""
+        return math.ceil(self.total_requests / self.parallel_connections)
+
+    def cdn_backed_load(self, region_rtt: float) -> float:
+        """First load when all data/assets are served from the CDN edge.
+
+        The initial connection setup still crosses the wide-area path once
+        (DNS + TLS to the CDN's anycast edge is modelled as a single regional
+        round trip), after that every wave is served at edge latency.
+        """
+        setup = region_rtt + self.connection_setup_round_trips * self.cdn_round_trip
+        return setup + self.request_rounds() * self.cdn_round_trip
+
+    def origin_backed_load(self, region_rtt: float) -> float:
+        """First load when every request travels to the origin region."""
+        setup = self.connection_setup_round_trips * region_rtt
+        per_wave = region_rtt + self.origin_processing
+        return setup + self.request_rounds() * per_wave
+
+
+#: Providers compared in Figure 1.  Baqend serves from the CDN; the others are
+#: modelled as origin-only (their mean latency differences in the paper come
+#: from different hosting regions / stack overheads, modelled as a factor).
+PROVIDER_ORIGIN_FACTORS: Dict[str, float] = {
+    "Baqend": 0.0,  # CDN-backed, factor unused
+    "Kinvey": 1.0,
+    "Firebase": 0.9,
+    "Azure": 1.2,
+    "Parse": 1.4,
+}
+
+
+def run_figure1(model: PageLoadModel | None = None) -> ExperimentReport:
+    """Regenerate the Figure 1 data series (mean first-load latency)."""
+    model = model if model is not None else PageLoadModel()
+    report = ExperimentReport(
+        experiment="Figure 1",
+        description=(
+            "Mean first-load latency (seconds) per Backend-as-a-Service provider and "
+            "client region; Baqend is CDN-backed, all other providers answer from "
+            "their origin."
+        ),
+        columns=["region", "provider", "first_load_seconds"],
+    )
+    for region, rtt in REGION_RTT_SECONDS.items():
+        for provider, factor in PROVIDER_ORIGIN_FACTORS.items():
+            if provider == "Baqend":
+                latency = model.cdn_backed_load(rtt)
+            else:
+                latency = model.origin_backed_load(rtt) * factor
+            report.add_row(region=region, provider=provider, first_load_seconds=latency)
+    report.add_note(
+        "Paper shape: Baqend stays near or below one second from every region while "
+        "origin-only providers grow with geographic distance (several seconds from "
+        "Sydney/Tokyo)."
+    )
+    return report

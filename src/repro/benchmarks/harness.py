@@ -1,0 +1,119 @@
+"""Shared benchmark infrastructure: scales and simulation helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.simulation.simulator import CachingMode, SimulationConfig, SimulationResult, Simulator
+from repro.workloads.dataset import DatasetSpec
+from repro.workloads.generator import WorkloadSpec
+
+
+@dataclass(frozen=True)
+class BenchmarkScale:
+    """Size parameters shared by the benchmark harnesses.
+
+    ``SMALL_SCALE`` keeps runs in the seconds-to-a-minute range on a laptop by
+    shrinking the dataset, the connection counts and the number of simulated
+    operations; ``PAPER_SCALE`` mirrors the paper's setup (10 tables x 10,000
+    documents, 100 queries per table, up to 3,000 connections) and is intended
+    for longer offline runs.  Relative comparisons (who wins, by what factor)
+    are preserved at the small scale; absolute throughput is not.
+    """
+
+    name: str
+    num_tables: int
+    documents_per_table: int
+    queries_per_table: int
+    connection_steps: List[int]
+    num_clients: int
+    max_operations: int
+    duration: float
+    query_count_steps: List[int]
+    document_count_steps: List[int]
+    matching_nodes: int = 8
+
+    def dataset_spec(
+        self,
+        documents_per_table: Optional[int] = None,
+        queries_per_table: Optional[int] = None,
+        num_tables: Optional[int] = None,
+        seed: int = 7,
+    ) -> DatasetSpec:
+        """Dataset spec for this scale, with optional overrides."""
+        return DatasetSpec(
+            num_tables=num_tables if num_tables is not None else self.num_tables,
+            documents_per_table=(
+                documents_per_table
+                if documents_per_table is not None
+                else self.documents_per_table
+            ),
+            queries_per_table=(
+                queries_per_table if queries_per_table is not None else self.queries_per_table
+            ),
+            seed=seed,
+        )
+
+
+SMALL_SCALE = BenchmarkScale(
+    name="small",
+    num_tables=4,
+    documents_per_table=1_500,
+    queries_per_table=60,
+    connection_steps=[30, 60, 120, 180, 240, 300],
+    num_clients=10,
+    max_operations=6_000,
+    duration=120.0,
+    query_count_steps=[60, 120, 240, 480],
+    document_count_steps=[1_000, 4_000, 12_000, 30_000],
+)
+
+PAPER_SCALE = BenchmarkScale(
+    name="paper",
+    num_tables=10,
+    documents_per_table=10_000,
+    queries_per_table=100,
+    connection_steps=[300, 600, 1200, 1800, 2400, 3000],
+    num_clients=10,
+    max_operations=200_000,
+    duration=300.0,
+    query_count_steps=[1_000, 2_000, 4_000, 6_000, 8_000, 10_000],
+    document_count_steps=[10_000, 100_000, 1_000_000, 10_000_000],
+)
+
+
+def run_mode(
+    scale: BenchmarkScale,
+    mode: CachingMode,
+    connections: int,
+    workload: Optional[WorkloadSpec] = None,
+    dataset: Optional[DatasetSpec] = None,
+    ebf_refresh_interval: float = 1.0,
+    max_operations: Optional[int] = None,
+    seed: int = 42,
+) -> SimulationResult:
+    """Run one simulated experiment for ``mode`` with ``connections`` connections."""
+    num_clients = scale.num_clients
+    connections_per_client = max(1, connections // num_clients)
+    config = SimulationConfig(
+        mode=mode,
+        workload=workload if workload is not None else WorkloadSpec.read_heavy(),
+        dataset=dataset if dataset is not None else scale.dataset_spec(),
+        num_clients=num_clients,
+        connections_per_client=connections_per_client,
+        ebf_refresh_interval=ebf_refresh_interval,
+        matching_nodes=scale.matching_nodes,
+        duration=scale.duration,
+        max_operations=max_operations if max_operations is not None else scale.max_operations,
+        seed=seed,
+    )
+    return Simulator(config).run()
+
+
+ALL_MODES = (
+    CachingMode.QUAESTOR,
+    CachingMode.EBF_ONLY,
+    CachingMode.CDN_ONLY,
+    CachingMode.UNCACHED,
+)

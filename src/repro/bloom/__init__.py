@@ -1,0 +1,49 @@
+"""Bloom filter family used by Quaestor's cache coherence mechanism.
+
+The central data structure of the paper is the *Expiring Bloom Filter* (EBF):
+a Counting Bloom filter maintained at the server that tracks which queries and
+records became stale before their TTL expired, paired with an expiration map
+that removes entries once every previously issued TTL has run out.  Clients
+receive a flat (non-counting) copy of the filter and consult it before every
+read to decide between a cached load and a revalidation.
+
+Modules
+-------
+``hashing``
+    Double-hashing scheme producing *k* independent bit positions.
+``sizing``
+    False-positive-rate arithmetic: optimal bit count and hash count.
+``bloom_filter``
+    Plain immutable-ish Bloom filter (the flat client copy).
+``counting``
+    Counting Bloom filter supporting removals.
+``expiring``
+    The Expiring Bloom Filter: counting filter + TTL/expiration tracking.
+``backed``
+    A distributed EBF variant persisting its state in :mod:`repro.kvstore`,
+    mirroring the paper's Redis-backed implementation.
+"""
+
+from __future__ import annotations
+
+from repro.bloom.bloom_filter import BloomFilter
+from repro.bloom.counting import CountingBloomFilter
+from repro.bloom.expiring import ExpiringBloomFilter
+from repro.bloom.backed import KVBackedExpiringBloomFilter
+from repro.bloom.partitioned import PartitionedExpiringBloomFilter
+from repro.bloom.sizing import (
+    false_positive_rate,
+    optimal_bit_count,
+    optimal_hash_count,
+)
+
+__all__ = [
+    "BloomFilter",
+    "CountingBloomFilter",
+    "ExpiringBloomFilter",
+    "KVBackedExpiringBloomFilter",
+    "PartitionedExpiringBloomFilter",
+    "false_positive_rate",
+    "optimal_bit_count",
+    "optimal_hash_count",
+]

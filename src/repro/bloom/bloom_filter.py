@@ -1,0 +1,151 @@
+"""Plain Bloom filter -- the flat, client-facing copy of the EBF."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.bloom import hashing
+from repro.bloom.sizing import false_positive_rate, optimal_hash_count
+
+
+class BloomFilter:
+    """A standard bit-array Bloom filter.
+
+    Clients receive this flat representation of the server-side Expiring Bloom
+    Filter; it supports membership tests, insertion, bitwise union (used to
+    aggregate per-table EBF partitions) and compact serialisation.
+    """
+
+    def __init__(self, num_bits: int, num_hashes: int) -> None:
+        if num_bits <= 0:
+            raise ValueError("num_bits must be positive")
+        if num_hashes <= 0:
+            raise ValueError("num_hashes must be positive")
+        self.num_bits = int(num_bits)
+        self.num_hashes = int(num_hashes)
+        self._bits = bytearray((self.num_bits + 7) // 8)
+        self._count = 0
+
+    # -- construction helpers -------------------------------------------------
+
+    @classmethod
+    def with_capacity(cls, expected_items: int, target_fp_rate: float = 0.05) -> "BloomFilter":
+        """Create a filter sized for ``expected_items`` at ``target_fp_rate``."""
+        from repro.bloom.sizing import optimal_bit_count
+
+        bits = optimal_bit_count(expected_items, target_fp_rate)
+        hashes = optimal_hash_count(bits, expected_items)
+        return cls(bits, hashes)
+
+    @classmethod
+    def from_keys(cls, keys: Iterable[str], num_bits: int, num_hashes: int) -> "BloomFilter":
+        """Create a filter of fixed geometry containing ``keys``."""
+        instance = cls(num_bits, num_hashes)
+        for key in keys:
+            instance.add(key)
+        return instance
+
+    # -- bit manipulation -----------------------------------------------------
+
+    def _set_bit(self, index: int) -> None:
+        self._bits[index >> 3] |= 1 << (index & 7)
+
+    def _get_bit(self, index: int) -> bool:
+        return bool(self._bits[index >> 3] & (1 << (index & 7)))
+
+    # -- public API -----------------------------------------------------------
+
+    def add(self, key: str) -> None:
+        """Insert ``key`` into the filter."""
+        for position in hashing.positions(key, self.num_hashes, self.num_bits):
+            self._set_bit(position)
+        self._count += 1
+
+    def contains(self, key: str) -> bool:
+        """Return ``True`` if ``key`` is possibly contained (no false negatives)."""
+        return all(
+            self._get_bit(position)
+            for position in hashing.positions(key, self.num_hashes, self.num_bits)
+        )
+
+    def __contains__(self, key: str) -> bool:
+        return self.contains(key)
+
+    def __len__(self) -> int:
+        """Number of insertions performed (not distinct keys)."""
+        return self._count
+
+    def clear(self) -> None:
+        """Reset the filter to the empty state."""
+        self._bits = bytearray(len(self._bits))
+        self._count = 0
+
+    def union(self, other: "BloomFilter") -> "BloomFilter":
+        """Bitwise OR of two filters with identical geometry.
+
+        Used to aggregate per-table EBF partitions into one client filter.
+        """
+        self._require_same_geometry(other)
+        merged = BloomFilter(self.num_bits, self.num_hashes)
+        merged._bits = bytearray(a | b for a, b in zip(self._bits, other._bits))
+        merged._count = self._count + other._count
+        return merged
+
+    def __or__(self, other: "BloomFilter") -> "BloomFilter":
+        return self.union(other)
+
+    def fill_ratio(self) -> float:
+        """Fraction of bits set to one."""
+        set_bits = sum(bin(byte).count("1") for byte in self._bits)
+        return set_bits / self.num_bits
+
+    def estimated_false_positive_rate(self) -> float:
+        """Expected false positive rate given the number of insertions."""
+        return false_positive_rate(self.num_bits, self.num_hashes, self._count)
+
+    # -- serialisation --------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Serialise the bit array (the payload piggybacked to clients)."""
+        return bytes(self._bits)
+
+    @classmethod
+    def from_bytes(cls, payload: bytes, num_bits: int, num_hashes: int) -> "BloomFilter":
+        """Reconstruct a filter from :meth:`to_bytes` output."""
+        instance = cls(num_bits, num_hashes)
+        expected = (num_bits + 7) // 8
+        if len(payload) != expected:
+            raise ValueError(
+                f"payload length {len(payload)} does not match geometry "
+                f"({expected} bytes expected for {num_bits} bits)"
+            )
+        instance._bits = bytearray(payload)
+        return instance
+
+    def copy(self) -> "BloomFilter":
+        """Return an independent copy of this filter."""
+        clone = BloomFilter(self.num_bits, self.num_hashes)
+        clone._bits = bytearray(self._bits)
+        clone._count = self._count
+        return clone
+
+    def iter_set_bits(self) -> Iterator[int]:
+        """Yield the indexes of all set bits (diagnostics and tests)."""
+        for index in range(self.num_bits):
+            if self._get_bit(index):
+                yield index
+
+    # -- internals ------------------------------------------------------------
+
+    def _require_same_geometry(self, other: "BloomFilter") -> None:
+        if self.num_bits != other.num_bits or self.num_hashes != other.num_hashes:
+            raise ValueError(
+                "filters must share geometry: "
+                f"({self.num_bits}, {self.num_hashes}) vs ({other.num_bits}, {other.num_hashes})"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"BloomFilter(bits={self.num_bits}, hashes={self.num_hashes}, "
+            f"insertions={self._count}, fill={self.fill_ratio():.4f})"
+        )

@@ -1,0 +1,109 @@
+"""Counting Bloom filter -- the mutable server-side representation."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.bloom import hashing
+from repro.bloom.bloom_filter import BloomFilter
+
+
+class CountingBloomFilter:
+    """A Bloom filter whose slots are counters, supporting removals.
+
+    The server maintains the Expiring Bloom Filter as a counting filter so
+    that queries can be *removed* again once their last issued TTL has
+    expired.  A flat :class:`~repro.bloom.BloomFilter` snapshot is kept in
+    sync incrementally (only slots transitioning 0 -> 1 or 1 -> 0 touch the
+    flat copy), mirroring the paper's note that regenerating the flat filter
+    per request would be inefficient.
+    """
+
+    def __init__(self, num_bits: int, num_hashes: int) -> None:
+        if num_bits <= 0:
+            raise ValueError("num_bits must be positive")
+        if num_hashes <= 0:
+            raise ValueError("num_hashes must be positive")
+        self.num_bits = int(num_bits)
+        self.num_hashes = int(num_hashes)
+        # Sparse counter storage: most slots are zero in practice.
+        self._counters: Dict[int, int] = {}
+        self._flat = BloomFilter(num_bits, num_hashes)
+        self._item_count = 0
+
+    # -- mutation -------------------------------------------------------------
+
+    def add(self, key: str) -> None:
+        """Increment the counters of ``key`` (idempotence is *not* implied)."""
+        for position in hashing.distinct_positions(key, self.num_hashes, self.num_bits):
+            previous = self._counters.get(position, 0)
+            self._counters[position] = previous + 1
+            if previous == 0:
+                self._flat._set_bit(position)
+        self._item_count += 1
+
+    def remove(self, key: str) -> bool:
+        """Decrement the counters of ``key``.
+
+        Returns ``False`` (and leaves the filter untouched) when the key is
+        definitely not contained, which protects against counter underflow.
+        """
+        slots = hashing.distinct_positions(key, self.num_hashes, self.num_bits)
+        if any(self._counters.get(position, 0) == 0 for position in slots):
+            return False
+        for position in slots:
+            remaining = self._counters[position] - 1
+            if remaining == 0:
+                del self._counters[position]
+                self._clear_flat_bit(position)
+            else:
+                self._counters[position] = remaining
+        self._item_count = max(0, self._item_count - 1)
+        return True
+
+    def clear(self) -> None:
+        """Reset all counters and the flat snapshot."""
+        self._counters.clear()
+        self._flat.clear()
+        self._item_count = 0
+
+    # -- queries --------------------------------------------------------------
+
+    def contains(self, key: str) -> bool:
+        """Membership test with the usual one-sided (false positive) error."""
+        return all(
+            self._counters.get(position, 0) > 0
+            for position in hashing.distinct_positions(key, self.num_hashes, self.num_bits)
+        )
+
+    def __contains__(self, key: str) -> bool:
+        return self.contains(key)
+
+    def __len__(self) -> int:
+        """Number of logically contained items (adds minus successful removes)."""
+        return self._item_count
+
+    def counter(self, position: int) -> int:
+        """Value of an individual counter slot (diagnostics and tests)."""
+        if not 0 <= position < self.num_bits:
+            raise IndexError(f"position {position} out of range [0, {self.num_bits})")
+        return self._counters.get(position, 0)
+
+    def nonzero_slots(self) -> int:
+        """Number of slots with a non-zero counter."""
+        return len(self._counters)
+
+    def to_flat(self) -> BloomFilter:
+        """Return an independent flat snapshot of the current membership."""
+        return self._flat.copy()
+
+    # -- internals ------------------------------------------------------------
+
+    def _clear_flat_bit(self, index: int) -> None:
+        self._flat._bits[index >> 3] &= ~(1 << (index & 7)) & 0xFF
+
+    def __repr__(self) -> str:
+        return (
+            f"CountingBloomFilter(bits={self.num_bits}, hashes={self.num_hashes}, "
+            f"items={self._item_count}, nonzero={self.nonzero_slots()})"
+        )

@@ -1,0 +1,80 @@
+"""Hash-position generation for Bloom filters.
+
+Uses the Kirsch-Mitzenmacher double hashing construction: two independent
+64-bit hashes ``h1`` and ``h2`` combine into ``k`` positions as
+``(h1 + i * h2) mod m``, which preserves the asymptotic false positive rate of
+``k`` fully independent hash functions while requiring only two evaluations.
+
+The two base hashes are FNV-1a variants with different offset bases, which is
+portable, dependency-free and deterministic across processes (unlike Python's
+built-in ``hash`` which is salted per process).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+_FNV_PRIME_64 = 0x100000001B3
+_FNV_OFFSET_64 = 0xCBF29CE484222325
+# A second, unrelated offset basis yields an (empirically) independent hash.
+_FNV_OFFSET_64_ALT = 0x84222325CBF29CE4
+_MASK_64 = 0xFFFFFFFFFFFFFFFF
+
+
+def fnv1a_64(data: bytes, offset: int = _FNV_OFFSET_64) -> int:
+    """Compute the 64-bit FNV-1a hash of ``data`` starting from ``offset``."""
+    value = offset
+    for byte in data:
+        value ^= byte
+        value = (value * _FNV_PRIME_64) & _MASK_64
+    return value
+
+
+def _as_bytes(key: str | bytes) -> bytes:
+    if isinstance(key, bytes):
+        return key
+    return key.encode("utf-8")
+
+
+def hash_pair(key: str | bytes) -> tuple[int, int]:
+    """Return the two independent 64-bit base hashes for ``key``."""
+    data = _as_bytes(key)
+    h1 = fnv1a_64(data, _FNV_OFFSET_64)
+    h2 = fnv1a_64(data, _FNV_OFFSET_64_ALT)
+    # h2 must be odd so that it is invertible modulo powers of two and never
+    # collapses all k positions onto one slot.
+    return h1, h2 | 1
+
+
+def positions(key: str | bytes, num_hashes: int, num_bits: int) -> List[int]:
+    """Return the ``num_hashes`` bit positions of ``key`` in a filter of ``num_bits``."""
+    if num_hashes <= 0:
+        raise ValueError("num_hashes must be positive")
+    if num_bits <= 0:
+        raise ValueError("num_bits must be positive")
+    h1, h2 = hash_pair(key)
+    return [(h1 + i * h2) % num_bits for i in range(num_hashes)]
+
+
+def distinct_positions(key: str | bytes, num_hashes: int, num_bits: int) -> List[int]:
+    """Like :func:`positions` but with duplicate slots removed.
+
+    Counting filters must not increment the same counter twice for one key,
+    otherwise a later removal would underflow other keys' counters.
+    """
+    seen: dict[int, None] = {}
+    for position in positions(key, num_hashes, num_bits):
+        seen.setdefault(position, None)
+    return list(seen)
+
+
+def stable_uint64(key: str | bytes) -> int:
+    """A stable 64-bit hash used for sharding/partitioning decisions."""
+    return fnv1a_64(_as_bytes(key))
+
+
+def spread(keys: Iterable[str | bytes], buckets: int) -> List[int]:
+    """Map each key to one of ``buckets`` partitions using the stable hash."""
+    if buckets <= 0:
+        raise ValueError("buckets must be positive")
+    return [stable_uint64(key) % buckets for key in keys]

@@ -1,0 +1,147 @@
+"""Per-table partitioning of the Expiring Bloom Filter.
+
+The paper scales EBF writes by giving every table its own EBF instance: filter
+modifications and expiration tracking are distributed horizontally, and the
+client-facing aggregate filter is the bitwise OR over the partitions'  flat
+Bloom filters.  Clients may alternatively fetch individual per-table filters
+to lower the overall false positive rate at the cost of more transfers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.bloom.bloom_filter import BloomFilter
+from repro.bloom.expiring import EBFStatistics, ExpiringBloomFilter
+from repro.bloom.sizing import PAPER_DEFAULT_BITS
+from repro.clock import Clock, VirtualClock
+
+#: Extracts the partition (table) name from a cache key.  Record keys look like
+#: ``record:<table>/<id>`` and query keys embed the collection in their JSON
+#: payload, so the default routes on the substring after the prefix.
+PartitionRouter = Callable[[str], str]
+
+
+def default_router(key: str) -> str:
+    """Route a cache key to its table: works for record and query keys."""
+    if key.startswith("record:"):
+        rest = key[len("record:"):]
+        return rest.split("/", 1)[0]
+    if key.startswith("query:"):
+        # Query keys are canonical JSON starting with {"c":"<collection>",...
+        marker = '"c":"'
+        start = key.find(marker)
+        if start != -1:
+            start += len(marker)
+            end = key.find('"', start)
+            if end != -1:
+                return key[start:end]
+    return "__default__"
+
+
+class PartitionedExpiringBloomFilter:
+    """A family of per-table EBFs behind the single-filter interface."""
+
+    def __init__(
+        self,
+        num_bits: int = PAPER_DEFAULT_BITS,
+        num_hashes: int = 4,
+        clock: Optional[Clock] = None,
+        router: PartitionRouter = default_router,
+    ) -> None:
+        if num_bits <= 0 or num_hashes <= 0:
+            raise ValueError("filter geometry must be positive")
+        self.num_bits = int(num_bits)
+        self.num_hashes = int(num_hashes)
+        self._clock: Clock = clock if clock is not None else VirtualClock()
+        self._router = router
+        self._partitions: Dict[str, ExpiringBloomFilter] = {}
+
+    # -- partition management ---------------------------------------------------------
+
+    def partition_for(self, key: str) -> ExpiringBloomFilter:
+        """The (possibly new) per-table EBF responsible for ``key``."""
+        name = self._router(key)
+        partition = self._partitions.get(name)
+        if partition is None:
+            partition = ExpiringBloomFilter(
+                num_bits=self.num_bits, num_hashes=self.num_hashes, clock=self._clock
+            )
+            self._partitions[name] = partition
+        return partition
+
+    def partition_names(self) -> List[str]:
+        return sorted(self._partitions)
+
+    def partition(self, name: str) -> Optional[ExpiringBloomFilter]:
+        """An existing partition by table name (``None`` if never touched)."""
+        return self._partitions.get(name)
+
+    # -- single-filter interface ---------------------------------------------------------
+
+    @property
+    def clock(self) -> Clock:
+        return self._clock
+
+    def now(self) -> float:
+        return self._clock.now()
+
+    def report_read(self, key: str, ttl: float, read_time: Optional[float] = None) -> None:
+        self.partition_for(key).report_read(key, ttl, read_time)
+
+    def report_invalidation(self, key: str, invalidation_time: Optional[float] = None) -> bool:
+        return self.partition_for(key).report_invalidation(key, invalidation_time)
+
+    def expire(self, now: Optional[float] = None) -> int:
+        return sum(partition.expire(now) for partition in self._partitions.values())
+
+    def is_stale(self, key: str, now: Optional[float] = None) -> bool:
+        return self.partition_for(key).is_stale(key, now)
+
+    def contains(self, key: str, now: Optional[float] = None) -> bool:
+        return self.partition_for(key).contains(key, now)
+
+    def __contains__(self, key: str) -> bool:
+        return self.contains(key)
+
+    def cacheable_until(self, key: str) -> Optional[float]:
+        return self.partition_for(key).cacheable_until(key)
+
+    def __len__(self) -> int:
+        return sum(len(partition) for partition in self._partitions.values())
+
+    # -- client-facing snapshots ------------------------------------------------------------
+
+    def to_flat(self, now: Optional[float] = None) -> BloomFilter:
+        """The aggregated filter: bitwise OR over all partition snapshots."""
+        aggregate = BloomFilter(self.num_bits, self.num_hashes)
+        for partition in self._partitions.values():
+            aggregate = aggregate | partition.to_flat(now)
+        return aggregate
+
+    def to_flat_partition(self, name: str, now: Optional[float] = None) -> BloomFilter:
+        """A single table's flat filter (lower false positive rate per table)."""
+        partition = self._partitions.get(name)
+        if partition is None:
+            return BloomFilter(self.num_bits, self.num_hashes)
+        return partition.to_flat(now)
+
+    def statistics(self) -> EBFStatistics:
+        """Aggregated statistics over all partitions."""
+        self.expire()
+        partials = [partition.statistics() for partition in self._partitions.values()]
+        flat = self.to_flat()
+        return EBFStatistics(
+            tracked_keys=sum(stat.tracked_keys for stat in partials),
+            stale_keys=sum(stat.stale_keys for stat in partials),
+            reads_reported=sum(stat.reads_reported for stat in partials),
+            invalidations_reported=sum(stat.invalidations_reported for stat in partials),
+            expirations_processed=sum(stat.expirations_processed for stat in partials),
+            false_positive_rate=flat.estimated_false_positive_rate(),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"PartitionedExpiringBloomFilter(partitions={len(self._partitions)}, "
+            f"stale={len(self)})"
+        )

@@ -1,0 +1,33 @@
+"""Web cache substrate: expiration-based and invalidation-based HTTP caches.
+
+The web caching infrastructure Quaestor exploits falls into two classes
+(Section 2 of the paper):
+
+* **expiration-based caches** (browser caches, forward and ISP proxies) obey
+  TTLs but cannot be invalidated by the server -- coherence for them is
+  achieved client-side through the Expiring Bloom Filter, and
+* **invalidation-based caches** (CDN edge caches, reverse proxies) also obey
+  TTLs but additionally support asynchronous purges issued by the server.
+
+Both are modelled here on top of a common :class:`WebCache` base and are
+composed into request paths by :class:`CacheHierarchy`.
+"""
+
+from __future__ import annotations
+
+from repro.caching.entry import CacheEntry
+from repro.caching.base import WebCache
+from repro.caching.expiration import ExpirationCache
+from repro.caching.invalidation import InvalidationCache
+from repro.caching.hierarchy import CacheHierarchy, FetchResult
+from repro.caching.stats import CacheStatistics
+
+__all__ = [
+    "CacheEntry",
+    "WebCache",
+    "ExpirationCache",
+    "InvalidationCache",
+    "CacheHierarchy",
+    "FetchResult",
+    "CacheStatistics",
+]

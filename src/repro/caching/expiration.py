@@ -1,0 +1,32 @@
+"""Expiration-based caches (browser caches, forward and ISP proxies).
+
+These caches honour TTLs but expose *no* interface through which the server
+could remove stale content -- which is exactly why Quaestor needs the Expiring
+Bloom Filter: coherence can only be restored by the client choosing to
+revalidate instead of reading from such a cache.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.caching.base import WebCache
+from repro.clock import Clock
+
+
+class ExpirationCache(WebCache):
+    """A purely TTL-driven HTTP cache that cannot be invalidated remotely."""
+
+    def __init__(
+        self,
+        name: str,
+        clock: Clock,
+        shared: bool = False,
+        max_entries: Optional[int] = None,
+    ) -> None:
+        super().__init__(name=name, clock=clock, shared=shared, max_entries=max_entries)
+
+    @property
+    def supports_purge(self) -> bool:
+        """Expiration-based caches cannot be purged by the server."""
+        return False

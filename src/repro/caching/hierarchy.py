@@ -1,0 +1,160 @@
+"""Cache hierarchies: the request path from client to origin.
+
+A :class:`CacheHierarchy` chains an ordered list of caches (closest to the
+client first) in front of an origin callable.  Fetches walk the chain until a
+fresh entry is found; responses travel back down the chain and populate every
+cache on the path -- the standard behaviour of the web's caching
+infrastructure that Quaestor piggybacks on.
+
+Revalidations (triggered when the client's Expiring Bloom Filter flags a key
+as potentially stale) skip expiration-based caches for *serving*, but may
+still be answered by invalidation-based caches, reflecting the paper's
+optimisation of answering revalidation requests at the CDN whenever the
+invalidation latency is accounted for in the client's staleness bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.caching.base import WebCache
+from repro.caching.invalidation import InvalidationCache
+from repro.rest.messages import Response
+
+#: The origin resolves a cache key to a full response (body + TTLs + Etag).
+OriginFunction = Callable[[str], Response]
+
+#: Synthetic level name used when the origin had to answer the request.
+ORIGIN_LEVEL = "origin"
+
+
+@dataclass(frozen=True)
+class FetchResult:
+    """Outcome of a hierarchy fetch."""
+
+    key: str
+    body: Any
+    etag: Optional[str]
+    level: str
+    revalidated: bool
+
+    @property
+    def served_by_cache(self) -> bool:
+        return self.level != ORIGIN_LEVEL
+
+
+class CacheHierarchy:
+    """An ordered chain of web caches in front of an origin."""
+
+    def __init__(self, levels: Sequence[Tuple[str, WebCache]], origin: OriginFunction) -> None:
+        names = [name for name, _cache in levels]
+        if len(set(names)) != len(names):
+            raise ValueError(f"cache level names must be unique, got {names}")
+        self._levels: List[Tuple[str, WebCache]] = list(levels)
+        self._origin = origin
+
+    # -- introspection -------------------------------------------------------------
+
+    @property
+    def level_names(self) -> List[str]:
+        return [name for name, _cache in self._levels]
+
+    def cache(self, name: str) -> WebCache:
+        """Return the cache registered under ``name``."""
+        for level_name, cache in self._levels:
+            if level_name == name:
+                return cache
+        raise KeyError(f"no cache level named {name!r}")
+
+    def caches(self) -> List[WebCache]:
+        return [cache for _name, cache in self._levels]
+
+    # -- request path ------------------------------------------------------------------
+
+    def fetch(
+        self,
+        key: str,
+        revalidate: bool = False,
+        bypass_all_caches: bool = False,
+    ) -> FetchResult:
+        """Resolve ``key`` through the cache chain.
+
+        Parameters
+        ----------
+        revalidate:
+            Skip *expiration-based* caches for serving (they cannot be trusted
+            for this key); invalidation-based caches may still answer because
+            the server actively purges them.
+        bypass_all_caches:
+            Force the request through to the origin regardless of cache
+            freshness (used for strong consistency / linearizable reads).
+        """
+        hit: Optional[Tuple[str, WebCache]] = None
+        consulted: List[Tuple[str, WebCache]] = []
+        for name, cache in self._levels:
+            consulted.append((name, cache))
+            if bypass_all_caches:
+                # The request races past every cache; no lookup is attempted.
+                continue
+            if revalidate and not self._may_serve_revalidation(cache):
+                # Expiration-based caches are bypassed but will be refreshed
+                # by the response on its way back to the client.
+                continue
+            entry = cache.lookup(key)
+            if entry is not None:
+                hit = (name, cache)
+                result_body, result_etag = entry.body, entry.etag
+                break
+
+        if hit is None:
+            response = self._origin(key)
+            result_body, result_etag = response.body, response.etag
+            level = ORIGIN_LEVEL
+            self._populate(consulted, key, response)
+        else:
+            level = hit[0]
+            self._refresh_downstream(consulted[:-1], key, hit[1])
+
+        return FetchResult(
+            key=key,
+            body=result_body,
+            etag=result_etag,
+            level=level,
+            revalidated=revalidate or bypass_all_caches,
+        )
+
+    # -- purging -----------------------------------------------------------------------
+
+    def purge(self, key: str) -> int:
+        """Purge ``key`` from every invalidation-based cache in the chain."""
+        purged = 0
+        for _name, cache in self._levels:
+            if isinstance(cache, InvalidationCache):
+                if cache.purge(key):
+                    purged += 1
+        return purged
+
+    # -- internals ----------------------------------------------------------------------
+
+    @staticmethod
+    def _may_serve_revalidation(cache: WebCache) -> bool:
+        return getattr(cache, "supports_purge", False)
+
+    @staticmethod
+    def _populate(consulted: List[Tuple[str, WebCache]], key: str, response: Response) -> None:
+        for _name, cache in consulted:
+            cache.store(key, response)
+
+    @staticmethod
+    def _refresh_downstream(
+        downstream: List[Tuple[str, WebCache]], key: str, source: WebCache
+    ) -> None:
+        """Copy the hit entry into the caches between the client and the hit level."""
+        entry = source.peek(key)
+        if entry is None:
+            return
+        for _name, cache in downstream:
+            # Downstream copies inherit the upstream entry's absolute expiry so
+            # a client-cache copy never outlives the CDN copy it came from.
+            cache.store_entry(entry.refreshed(entry.stored_at, entry.ttl))

@@ -1,0 +1,27 @@
+"""Client SDK: transparent cache coherence and session consistency.
+
+The SDK hides the Expiring Bloom Filter from the application: before every
+read or query it checks the client's flat EBF copy (plus the differential
+whitelist) and transparently turns potentially stale loads into revalidations.
+Refreshing the EBF every Delta seconds yields Delta-atomic reads; on top of
+that the SDK provides read-your-writes and monotonic-reads session guarantees
+and opt-in causal or strong consistency.
+"""
+
+from __future__ import annotations
+
+from repro.client.freshness import FreshnessPolicy
+from repro.client.session import ClientSession
+from repro.client.whitelist import DifferentialWhitelist
+from repro.client.sdk import ClientResult, QuaestorClient
+from repro.client.subscriptions import QuerySubscription, SubscriptionManager
+
+__all__ = [
+    "FreshnessPolicy",
+    "ClientSession",
+    "DifferentialWhitelist",
+    "ClientResult",
+    "QuaestorClient",
+    "QuerySubscription",
+    "SubscriptionManager",
+]

@@ -1,0 +1,402 @@
+"""The Quaestor client SDK.
+
+The SDK is the piece that makes web caching safe for dynamic data: it holds a
+flat copy of the Expiring Bloom Filter, checks it before every read or query,
+and transparently promotes potentially stale loads to revalidations.  It also
+implements the session guarantees (read-your-writes, monotonic reads) and the
+opt-in causal/strong consistency levels described in Section 3.2 of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.bloom.bloom_filter import BloomFilter
+from repro.caching.expiration import ExpirationCache
+from repro.caching.hierarchy import CacheHierarchy, FetchResult, ORIGIN_LEVEL
+from repro.caching.invalidation import InvalidationCache
+from repro.clock import Clock
+from repro.client.freshness import FreshnessPolicy
+from repro.client.session import ClientSession
+from repro.client.whitelist import DifferentialWhitelist
+from repro.core.consistency import ConsistencyLevel
+from repro.core.representation import ResultRepresentation
+from repro.db.documents import Document
+from repro.db.query import Query, record_key
+from repro.metrics.counters import Counter
+from repro.rest.cache_control import CacheControl
+from repro.rest.messages import Response, StatusCode
+
+#: Synthetic level reported when a result was served from session state
+#: (read-your-writes / monotonic-reads fallback); it involves no network.
+SESSION_LEVEL = "session"
+
+
+@dataclass
+class ClientResult:
+    """Outcome of a client operation, including where it was served from."""
+
+    key: str
+    value: Any
+    level: str
+    etag: Optional[str] = None
+    version: Optional[int] = None
+    revalidated: bool = False
+    #: Levels of any additional per-record fetches (id-list assembly).
+    extra_levels: List[str] = field(default_factory=list)
+
+    @property
+    def served_by_cache(self) -> bool:
+        return self.level not in (ORIGIN_LEVEL,)
+
+
+class QuaestorClient:
+    """A browser/mobile client talking to a :class:`QuaestorServer`.
+
+    Parameters
+    ----------
+    server:
+        The Quaestor server (origin).
+    cdn:
+        The shared invalidation-based cache between this client and the
+        origin, or ``None`` when no CDN is part of the setup.
+    refresh_interval:
+        Delta: how often the EBF copy is refreshed (the staleness bound).
+    consistency:
+        Default consistency level for this session.
+    use_client_cache / use_ebf:
+        Feature switches used to reproduce the paper's baselines
+        (CDN-only: no client cache and no EBF; uncached: neither cache).
+    """
+
+    def __init__(
+        self,
+        server,
+        cdn: Optional[InvalidationCache] = None,
+        clock: Optional[Clock] = None,
+        refresh_interval: float = 10.0,
+        consistency: ConsistencyLevel = ConsistencyLevel.DELTA_ATOMIC,
+        use_client_cache: bool = True,
+        use_ebf: bool = True,
+        client_cache_max_entries: Optional[int] = None,
+        name: str = "client",
+    ) -> None:
+        self.server = server
+        self.name = name
+        self._clock: Clock = clock if clock is not None else server.clock
+        self.consistency = consistency
+        self.use_client_cache = use_client_cache
+        self.use_ebf = use_ebf
+
+        self.client_cache = ExpirationCache(
+            f"{name}-cache", self._clock, shared=False, max_entries=client_cache_max_entries
+        )
+        levels = []
+        if use_client_cache:
+            levels.append(("client", self.client_cache))
+        if cdn is not None:
+            levels.append(("cdn", cdn))
+        self._hierarchy = CacheHierarchy(levels, origin=self._origin_fetch)
+
+        self.freshness = FreshnessPolicy(refresh_interval)
+        self.whitelist = DifferentialWhitelist()
+        self.session = ClientSession()
+        self.counters = Counter()
+
+        self._bloom: Optional[BloomFilter] = None
+        self._known_queries: Dict[str, Query] = {}
+        self._pending_origin_response: Optional[Response] = None
+        self._causal_revalidate = False
+
+    # -- connection / EBF management -----------------------------------------------------
+
+    def connect(self) -> None:
+        """Initial connect: fetch the piggybacked EBF (cached initialization)."""
+        self.refresh_bloom_filter()
+
+    def refresh_bloom_filter(self) -> None:
+        """Fetch a fresh flat EBF copy and reset the differential whitelist."""
+        if not self.use_ebf:
+            return
+        self._bloom = self.server.get_bloom_filter()
+        self.freshness.mark_refreshed(self._clock.now())
+        self.whitelist.reset()
+        self._causal_revalidate = False
+        self.counters.increment("ebf_refreshes")
+
+    @property
+    def bloom_filter(self) -> Optional[BloomFilter]:
+        return self._bloom
+
+    def now(self) -> float:
+        return self._clock.now()
+
+    # -- reads -------------------------------------------------------------------------------
+
+    def read(
+        self,
+        collection: str,
+        document_id: str,
+        consistency: Optional[ConsistencyLevel] = None,
+    ) -> ClientResult:
+        """Read a single record with the session's (or an overriding) consistency."""
+        self.counters.increment("reads")
+        key = record_key(collection, document_id)
+        level_consistency = consistency if consistency is not None else self.consistency
+        refresh_due = self.use_ebf and self.freshness.needs_refresh(self.now())
+
+        result = self._fetch(key, level_consistency, refresh_due)
+        document, version = self._unpack_record(result)
+
+        result = self._enforce_monotonic_reads(key, result, document, version)
+        document, version = self._unpack_record(result)
+
+        if refresh_due:
+            # The promoted revalidation piggybacks a fresh EBF copy; refresh it
+            # first so the whitelist entry below survives until the *next*
+            # renewal (it is as fresh as the new filter).
+            self.refresh_bloom_filter()
+        if result.revalidated or result.level == ORIGIN_LEVEL:
+            self.whitelist.add(key)
+        if version is not None:
+            self.session.observe_read(key, version, document)
+        self._update_causal_state(result, level_consistency)
+        return result
+
+    def query(
+        self,
+        query: Query,
+        consistency: Optional[ConsistencyLevel] = None,
+    ) -> ClientResult:
+        """Execute a query, transparently assembling id-list results."""
+        self.counters.increment("queries")
+        key = query.cache_key
+        self._known_queries[key] = query
+        level_consistency = consistency if consistency is not None else self.consistency
+        refresh_due = self.use_ebf and self.freshness.needs_refresh(self.now())
+
+        result = self._fetch(key, level_consistency, refresh_due)
+        body = result.value if isinstance(result.value, dict) else {}
+        representation = body.get("representation", ResultRepresentation.OBJECT_LIST.value)
+
+        if representation == ResultRepresentation.OBJECT_LIST.value:
+            documents = body.get("documents", [])
+            self._cache_result_records(query.collection, body)
+            value: Any = documents
+            extra_levels: List[str] = []
+        else:
+            documents, extra_levels = self._assemble_id_list(query.collection, body.get("ids", []))
+            value = documents
+
+        final = ClientResult(
+            key=key,
+            value=value,
+            level=result.level,
+            etag=result.etag,
+            revalidated=result.revalidated,
+            extra_levels=extra_levels,
+        )
+        if refresh_due:
+            # Refresh before whitelisting so the revalidated result stays
+            # whitelisted until the next EBF renewal (see read()).
+            self.refresh_bloom_filter()
+        if final.revalidated or final.level == ORIGIN_LEVEL:
+            self.whitelist.add(key)
+        self._update_causal_state(final, level_consistency)
+        return final
+
+    # -- writes -------------------------------------------------------------------------------
+
+    def insert(self, collection: str, document: Document) -> ClientResult:
+        """Insert a new record (writes always go to the origin)."""
+        self.counters.increment("writes")
+        response = self.server.handle_insert(collection, document)
+        document_id = str(document.get("_id", ""))
+        key = record_key(collection, document_id)
+        self._after_own_write(key, response)
+        return ClientResult(
+            key=key,
+            value=response.body.get("document") if response.body else None,
+            level=ORIGIN_LEVEL,
+            version=1,
+            revalidated=True,
+        )
+
+    def update(self, collection: str, document_id: str, update: Document) -> ClientResult:
+        """Apply a partial update to a record."""
+        self.counters.increment("writes")
+        key = record_key(collection, document_id)
+        # Beginning an update invalidates the record in the client's own cache
+        # (the behaviour the paper relies on in its staleness analysis).
+        self.client_cache.remove(key)
+        response = self.server.handle_update(collection, document_id, update)
+        self._after_own_write(key, response)
+        body = response.body or {}
+        return ClientResult(
+            key=key,
+            value=body.get("document"),
+            level=ORIGIN_LEVEL,
+            version=body.get("version"),
+            revalidated=True,
+        )
+
+    def delete(self, collection: str, document_id: str) -> ClientResult:
+        """Delete a record."""
+        self.counters.increment("writes")
+        key = record_key(collection, document_id)
+        self.client_cache.remove(key)
+        response = self.server.handle_delete(collection, document_id)
+        self.session.record_own_write(key, version=-1, document=None)
+        return ClientResult(
+            key=key,
+            value=(response.body or {}).get("document"),
+            level=ORIGIN_LEVEL,
+            revalidated=True,
+        )
+
+    # -- transactions -----------------------------------------------------------------------------
+
+    def begin_transaction(self):
+        """Start an optimistic transaction (validated at commit time)."""
+        return self.server.begin_transaction()
+
+    # -- internals: fetching -------------------------------------------------------------------------
+
+    def _fetch(
+        self, key: str, consistency: ConsistencyLevel, refresh_due: bool
+    ) -> ClientResult:
+        bypass_all = consistency.always_revalidates
+        revalidate = (
+            bypass_all
+            or refresh_due
+            or self._causal_revalidate
+            or self._is_potentially_stale(key)
+        )
+        if revalidate and not bypass_all:
+            self.counters.increment("revalidations")
+        fetch = self._hierarchy.fetch(key, revalidate=revalidate, bypass_all_caches=bypass_all)
+        self.counters.increment(f"hits_{fetch.level}")
+        return ClientResult(
+            key=key,
+            value=fetch.body,
+            level=fetch.level,
+            etag=fetch.etag,
+            revalidated=fetch.revalidated,
+        )
+
+    def _is_potentially_stale(self, key: str) -> bool:
+        if not self.use_ebf or self._bloom is None:
+            return False
+        if key in self.whitelist:
+            return False
+        return self._bloom.contains(key)
+
+    def _origin_fetch(self, key: str) -> Response:
+        """Resolve a cache key at the origin (the hierarchy's origin hook)."""
+        if key.startswith("record:"):
+            _, _, rest = key.partition(":")
+            collection, _, document_id = rest.partition("/")
+            return self.server.handle_read(collection, document_id)
+        query = self._known_queries.get(key)
+        if query is None:
+            raise KeyError(f"unknown query cache key: {key}")
+        return self.server.handle_query(query)
+
+    # -- internals: record handling ----------------------------------------------------------------------
+
+    @staticmethod
+    def _unpack_record(result: ClientResult) -> tuple:
+        body = result.value
+        if isinstance(body, dict) and "document" in body:
+            document = body.get("document")
+            version = body.get("version")
+            result.value = document
+            result.version = version
+            return document, version
+        return result.value, result.version
+
+    def _enforce_monotonic_reads(
+        self, key: str, result: ClientResult, document: Optional[Document], version: Optional[int]
+    ) -> ClientResult:
+        """Never expose a version older than one this session has already seen."""
+        if version is None:
+            return result
+        if self.session.newer_than_seen(key, version):
+            return result
+        self.counters.increment("monotonic_read_fallbacks")
+        fallback = self.session.monotonic_fallback(key)
+        if fallback is None:
+            return result
+        seen_version, seen_document = fallback
+        return ClientResult(
+            key=key,
+            value=seen_document,
+            level=SESSION_LEVEL,
+            etag=result.etag,
+            version=seen_version,
+            revalidated=result.revalidated,
+        )
+
+    def _cache_result_records(self, collection: str, body: Dict[str, Any]) -> None:
+        """Insert all records of an object-list result into the client cache.
+
+        This is the "read cache hits by side effect" the paper observes: once a
+        query result is cached, reads of its member records become client-cache
+        hits as well.
+        """
+        record_ttl = body.get("record_ttl", 0.0) or 0.0
+        if not self.use_client_cache or record_ttl <= 0:
+            return
+        versions = body.get("record_versions", {})
+        for document in body.get("documents", []):
+            document_id = str(document.get("_id", ""))
+            key = record_key(collection, document_id)
+            version = versions.get(document_id, 0)
+            from repro.rest.etags import etag_for_version
+
+            response = Response.ok(
+                {"document": document, "version": version},
+                ttl=record_ttl,
+                etag=etag_for_version(collection, document_id, version),
+            )
+            self.client_cache.store(key, response)
+            self.session.observe_read(key, version, document)
+
+    def _assemble_id_list(self, collection: str, ids: List[str]) -> tuple:
+        """Fetch each member record of an id-list result through the cache chain."""
+        documents: List[Document] = []
+        levels: List[str] = []
+        for document_id in ids:
+            record_result = self.read(collection, document_id)
+            if record_result.value is not None:
+                documents.append(record_result.value)
+            levels.append(record_result.level)
+        return documents, levels
+
+    def _after_own_write(self, key: str, response: Response) -> None:
+        body = response.body or {}
+        version = body.get("version", 1)
+        document = body.get("document")
+        if response.status in (StatusCode.OK, StatusCode.CREATED):
+            self.session.record_own_write(key, version, document)
+
+    def _update_causal_state(self, result: ClientResult, consistency: ConsistencyLevel) -> None:
+        if consistency is not ConsistencyLevel.CAUSAL:
+            return
+        # A read served by the origin or the CDN may be newer than the EBF
+        # copy; until the next refresh, subsequent reads must revalidate to
+        # preserve causal order (option 2 in Section 3.2).
+        if result.level in (ORIGIN_LEVEL, "cdn"):
+            self._causal_revalidate = True
+
+    # -- statistics -----------------------------------------------------------------------------------------
+
+    def cache_statistics(self) -> Dict[str, Any]:
+        """Hit/miss statistics of the client cache plus SDK counters."""
+        stats = dict(self.counters.as_dict())
+        stats["client_cache"] = self.client_cache.stats.as_dict()
+        return stats
+
+    def __repr__(self) -> str:
+        return f"QuaestorClient(name={self.name!r}, consistency={self.consistency.value})"

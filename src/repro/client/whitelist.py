@@ -1,0 +1,40 @@
+"""Differential whitelisting of freshly revalidated keys.
+
+Discrepancies between actual and estimated TTLs can keep a key in the Expiring
+Bloom Filter for an extended period.  To avoid paying a revalidation for every
+single access during that period, the client whitelists every key it has
+revalidated since the last EBF refresh and treats it as fresh until the next
+renewal (Section 3.3, "Client-side EBF Usage").
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+
+class DifferentialWhitelist:
+    """Keys revalidated since the last EBF refresh."""
+
+    def __init__(self) -> None:
+        self._fresh_keys: Set[str] = set()
+        self.additions = 0
+        self.resets = 0
+
+    def add(self, key: str) -> None:
+        """Mark ``key`` as revalidated (fresh until the next EBF renewal)."""
+        self._fresh_keys.add(key)
+        self.additions += 1
+
+    def contains(self, key: str) -> bool:
+        return key in self._fresh_keys
+
+    def __contains__(self, key: str) -> bool:
+        return self.contains(key)
+
+    def reset(self) -> None:
+        """Clear the whitelist (called whenever a new EBF copy arrives)."""
+        self._fresh_keys.clear()
+        self.resets += 1
+
+    def __len__(self) -> int:
+        return len(self._fresh_keys)

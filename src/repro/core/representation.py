@@ -1,0 +1,76 @@
+"""Query result representations and the cost-based choice between them.
+
+A cached query result can be served either as an **id-list** (only the record
+URLs/ids; space-efficient, per-record cache hits, but more round-trips to
+assemble the result) or as an **object-list** (the full documents in one
+response).  The choice cannot be made by the cache, so Quaestor decides per
+query using a cost model that weighs fewer invalidations (id-lists ignore pure
+``change`` events) against fewer round-trips (object-lists need exactly one).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class ResultRepresentation(str, enum.Enum):
+    """How a cached query result is materialised."""
+
+    ID_LIST = "id-list"
+    OBJECT_LIST = "object-list"
+
+
+def choose_representation(
+    result_size: int,
+    assumed_record_hit_rate: float,
+    object_list_max_size: int,
+    change_fraction: float = 0.5,
+) -> ResultRepresentation:
+    """Pick the cheaper representation for a query result.
+
+    Parameters
+    ----------
+    result_size:
+        Number of records in the result.
+    assumed_record_hit_rate:
+        Probability that an individual record needed to assemble an id-list
+        result is already cached client-side (records are cached as a side
+        effect of object-list responses and record reads).
+    object_list_max_size:
+        Hard cap above which results are always served as id-lists (very large
+        object-lists are expensive to transfer and to invalidate).
+    change_fraction:
+        Fraction of invalidations that are pure ``change`` events (those do
+        not invalidate id-lists).  The default of one half reflects the
+        workload generator's update mix.
+
+    Notes
+    -----
+    The cost of a representation is expressed in expected round-trips per read
+    plus an invalidation penalty:
+
+    * object-list: ``1`` round-trip, invalidated by *every* notification.
+    * id-list: ``1 + result_size * (1 - hit_rate)`` round-trips, invalidated
+      only by membership/order changes (``1 - change_fraction`` of events).
+    """
+    if result_size < 0:
+        raise ValueError("result_size must be non-negative")
+    if not 0.0 <= assumed_record_hit_rate <= 1.0:
+        raise ValueError("assumed_record_hit_rate must lie in [0, 1]")
+    if not 0.0 <= change_fraction <= 1.0:
+        raise ValueError("change_fraction must lie in [0, 1]")
+
+    if result_size > object_list_max_size:
+        return ResultRepresentation.ID_LIST
+
+    # Invalidations are weighted as one extra (origin) round-trip each because
+    # the next read after an invalidation misses all caches.
+    object_list_cost = 1.0 + 1.0
+    id_list_cost = (
+        1.0
+        + result_size * (1.0 - assumed_record_hit_rate)
+        + (1.0 - change_fraction)
+    )
+    if id_list_cost < object_list_cost:
+        return ResultRepresentation.ID_LIST
+    return ResultRepresentation.OBJECT_LIST

@@ -1,0 +1,384 @@
+"""The Quaestor server: a caching middleware in front of the document database.
+
+The server answers REST-style requests for records, queries and writes.  For
+every cacheable response it estimates a TTL, reports the read to the Expiring
+Bloom Filter (so a later invalidation within the TTL can be tracked), registers
+queries in InvaliDB and reacts to invalidation notifications by adding the
+stale keys to the EBF and purging invalidation-based caches.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Union
+
+from repro.bloom.bloom_filter import BloomFilter
+from repro.bloom.expiring import ExpiringBloomFilter
+from repro.caching.invalidation import InvalidationCache
+from repro.clock import Clock
+from repro.core.active_list import ActiveList
+from repro.core.config import QuaestorConfig
+from repro.core.representation import ResultRepresentation, choose_representation
+from repro.db.changestream import ChangeEvent, OperationType
+from repro.db.database import Database
+from repro.db.documents import Document
+from repro.db.query import Query, record_key
+from repro.errors import DocumentNotFoundError
+from repro.invalidb.capacity import CapacityManager
+from repro.invalidb.cluster import InvaliDBCluster
+from repro.invalidb.events import Notification
+from repro.invalidb.ingestion import InvaliDBFrontend
+from repro.metrics.counters import Counter
+from repro.rest.etags import etag_for, etag_for_version
+from repro.rest.messages import Response, StatusCode
+from repro.ttl.base import TTLEstimator
+from repro.ttl.estimator import QuaestorTTLEstimator
+from repro.workloads.operations import Operation
+from repro.workloads.operations import OperationType as WorkloadOperationType
+
+#: A purge target is either an invalidation-based cache or a callable taking
+#: the purged key (e.g. a simulator hook that applies the purge after a delay).
+PurgeTarget = Union[InvalidationCache, Callable[[str], None]]
+
+#: Invalidation hooks receive (key, timestamp) whenever a key becomes stale.
+InvalidationHook = Callable[[str, float], None]
+
+
+class QuaestorServer:
+    """DBaaS middleware implementing the paper's caching scheme."""
+
+    def __init__(
+        self,
+        database: Database,
+        config: Optional[QuaestorConfig] = None,
+        invalidb: Optional[InvaliDBCluster] = None,
+        ttl_estimator: Optional[TTLEstimator] = None,
+        ebf: Optional[ExpiringBloomFilter] = None,
+        auditor: Optional["StalenessAuditor"] = None,
+    ) -> None:
+        self.database = database
+        self.config = config if config is not None else QuaestorConfig()
+        self._clock: Clock = database.clock
+
+        self.ebf = (
+            ebf
+            if ebf is not None
+            else ExpiringBloomFilter(
+                num_bits=self.config.ebf_bits,
+                num_hashes=self.config.ebf_hashes,
+                clock=self._clock,
+            )
+        )
+        self.ttl_estimator: TTLEstimator = (
+            ttl_estimator
+            if ttl_estimator is not None
+            else QuaestorTTLEstimator(
+                quantile=self.config.ttl_quantile,
+                alpha=self.config.ewma_alpha,
+                bounds=self.config.ttl_bounds,
+            )
+        )
+        self.invalidb = invalidb if invalidb is not None else InvaliDBCluster(matching_nodes=1)
+        self.frontend = InvaliDBFrontend(self.invalidb)
+        self.capacity = CapacityManager(
+            self.invalidb,
+            expected_update_rate=self.config.expected_update_rate,
+            headroom=self.config.capacity_headroom,
+            max_active_queries=self.config.max_active_queries,
+        )
+        self.active_list = ActiveList()
+        # Imported lazily: the staleness auditor lives in the simulation
+        # package, which itself builds on the core package.
+        from repro.simulation.staleness import StalenessAuditor
+
+        self.auditor = auditor if auditor is not None else StalenessAuditor()
+        self.counters = Counter()
+
+        self._purge_targets: List[PurgeTarget] = []
+        self._invalidation_hooks: List[InvalidationHook] = []
+
+        # Every acknowledged write flows through the change stream into the
+        # invalidation machinery.
+        self.database.subscribe(self._on_change)
+
+    # -- wiring -----------------------------------------------------------------------
+
+    @property
+    def clock(self) -> Clock:
+        return self._clock
+
+    def now(self) -> float:
+        return self._clock.now()
+
+    def register_purge_target(self, target: PurgeTarget) -> None:
+        """Register an invalidation-based cache (or purge callback) to purge."""
+        self._purge_targets.append(target)
+
+    def add_invalidation_hook(self, hook: InvalidationHook) -> None:
+        """Register a hook invoked whenever a key is marked stale."""
+        self._invalidation_hooks.append(hook)
+
+    # -- client bootstrap -----------------------------------------------------------------
+
+    def get_bloom_filter(self) -> BloomFilter:
+        """The flat Expiring Bloom Filter copy piggybacked to clients."""
+        self.counters.increment("ebf_downloads")
+        return self.ebf.to_flat(self.now())
+
+    # -- read path ---------------------------------------------------------------------------
+
+    def handle_read(self, collection: str, document_id: str) -> Response:
+        """Serve an individual record."""
+        self.counters.increment("reads")
+        key = record_key(collection, document_id)
+        now = self.now()
+        try:
+            document = self.database.get(collection, document_id)
+            version = self.database.collection(collection).version(document_id)
+        except DocumentNotFoundError:
+            return Response.uncacheable(None, status=StatusCode.NOT_FOUND)
+
+        etag = etag_for_version(collection, document_id, version)
+        self.auditor.record_version(key, etag, now)
+
+        body = {"document": document, "version": version}
+        if not self.config.cache_records:
+            response = Response.uncacheable(body)
+            response.etag = etag
+            return response
+
+        ttl = self.ttl_estimator.estimate_record(key, now)
+        shared_ttl = ttl * self.config.cdn_ttl_factor
+        # The EBF must track the *highest* TTL issued to any cache (the CDN's
+        # s-maxage), otherwise a stale copy could outlive its EBF entry.
+        self.ebf.report_read(key, shared_ttl, now)
+        return Response.ok(body, ttl=ttl, shared_ttl=shared_ttl, etag=etag)
+
+    def handle_query(self, query: Query) -> Response:
+        """Serve a query result (object-list or id-list representation)."""
+        self.counters.increment("queries")
+        now = self.now()
+        documents = self.database.find(query)
+        versions = self._result_versions(query.collection, documents)
+        etag = etag_for({"ids": sorted(versions), "versions": versions})
+        self.auditor.record_version(query.cache_key, etag, now)
+
+        if not self.config.cache_queries:
+            body = self._object_list_body(documents, versions, record_ttl=0.0)
+            response = Response.uncacheable(body)
+            response.etag = etag
+            return response
+
+        admitted = self.capacity.admit(query.cache_key, result_size=len(documents))
+        if not admitted:
+            self.counters.increment("queries_uncacheable")
+            body = self._object_list_body(documents, versions, record_ttl=0.0)
+            response = Response.uncacheable(body)
+            response.etag = etag
+            return response
+
+        member_keys = [record_key(query.collection, doc_id) for doc_id in versions]
+        ttl = self.ttl_estimator.estimate_query(query.cache_key, member_keys, now)
+        representation = choose_representation(
+            result_size=len(documents),
+            assumed_record_hit_rate=self.config.assumed_record_hit_rate,
+            object_list_max_size=self.config.object_list_max_size,
+        )
+
+        self._register_in_invalidb(query)
+        self.active_list.record_read(query, now, ttl, len(documents), representation)
+        self.capacity.record_read(query.cache_key, len(documents))
+        shared_ttl = ttl * self.config.cdn_ttl_factor
+        # Track the highest TTL issued to any cache (the CDN's s-maxage), so
+        # that an invalidation keeps the query in the EBF for as long as any
+        # standards-compliant cache may still serve it.
+        self.ebf.report_read(query.cache_key, shared_ttl, now)
+
+        if representation is ResultRepresentation.OBJECT_LIST:
+            # Records delivered inside the result are cacheable client-side,
+            # so the EBF has to track them with the same TTL.
+            for member_key in member_keys:
+                self.ebf.report_read(member_key, ttl, now)
+            body = self._object_list_body(documents, versions, record_ttl=ttl)
+        else:
+            body = {
+                "representation": ResultRepresentation.ID_LIST.value,
+                "ids": [str(document["_id"]) for document in documents],
+            }
+        return Response.ok(body, ttl=ttl, shared_ttl=shared_ttl, etag=etag)
+
+    # -- write path --------------------------------------------------------------------------
+
+    def handle_insert(self, collection: str, document: Document) -> Response:
+        self.counters.increment("writes")
+        inserted = self.database.insert(collection, document)
+        self._process_invalidations()
+        return Response.uncacheable({"document": inserted}, status=StatusCode.CREATED)
+
+    def handle_update(self, collection: str, document_id: str, update: Document) -> Response:
+        self.counters.increment("writes")
+        try:
+            updated = self.database.update(collection, document_id, update)
+        except DocumentNotFoundError:
+            return Response.uncacheable(None, status=StatusCode.NOT_FOUND)
+        self._process_invalidations()
+        version = self.database.collection(collection).version(document_id)
+        return Response.uncacheable({"document": updated, "version": version})
+
+    def handle_delete(self, collection: str, document_id: str) -> Response:
+        self.counters.increment("writes")
+        try:
+            deleted = self.database.delete(collection, document_id)
+        except DocumentNotFoundError:
+            return Response.uncacheable(None, status=StatusCode.NOT_FOUND)
+        self._process_invalidations()
+        return Response.uncacheable({"document": deleted})
+
+    def execute(self, operation: Operation) -> Response:
+        """Execute a workload operation (dispatch helper for simulators/examples)."""
+        if operation.type == WorkloadOperationType.READ:
+            return self.handle_read(operation.collection, operation.document_id)
+        if operation.type == WorkloadOperationType.QUERY:
+            return self.handle_query(operation.query)
+        if operation.type == WorkloadOperationType.INSERT:
+            return self.handle_insert(operation.collection, operation.payload)
+        if operation.type == WorkloadOperationType.UPDATE:
+            return self.handle_update(
+                operation.collection, operation.document_id, operation.payload
+            )
+        if operation.type == WorkloadOperationType.DELETE:
+            return self.handle_delete(operation.collection, operation.document_id)
+        raise ValueError(f"unsupported operation type: {operation.type}")
+
+    # -- transactions ----------------------------------------------------------------------------
+
+    def begin_transaction(self) -> "Transaction":
+        """Start an optimistic (BOCC-style) transaction against this server."""
+        from repro.core.transactions import Transaction
+
+        return Transaction(self)
+
+    # -- change stream / invalidation machinery ---------------------------------------------------
+
+    def _on_change(self, event: ChangeEvent) -> None:
+        """React to an acknowledged write: sample rates, invalidate, notify InvaliDB."""
+        key = record_key(event.collection, event.document_id)
+        self.ttl_estimator.observe_write(key, event.timestamp)
+
+        if event.operation == OperationType.DELETE:
+            version_token = f"deleted@{event.sequence}"
+        else:
+            version_token = etag_for_version(
+                event.collection,
+                event.document_id,
+                self._safe_version(event.collection, event.document_id),
+            )
+        self.auditor.record_version(key, version_token, event.timestamp)
+
+        # The record itself becomes stale in all caches holding it.
+        self._invalidate_key(key, event.timestamp)
+
+        # Forward the after-image to InvaliDB for query matching.
+        self.frontend.submit_change(event)
+
+    def _process_invalidations(self) -> None:
+        """Pump the InvaliDB queues and handle resulting notifications."""
+        for notification in self.frontend.pump():
+            self._handle_notification(notification)
+
+    def _handle_notification(self, notification: Notification) -> None:
+        query_key = notification.query_key
+        entry = self.active_list.get(query_key)
+        if entry is None:
+            # The query is matched but not currently cached; nothing to purge.
+            return
+        if (
+            entry.representation is ResultRepresentation.ID_LIST
+            and not notification.invalidates_id_list()
+        ):
+            self.counters.increment("notifications_ignored_id_list")
+            return
+
+        self.counters.increment("query_invalidations")
+        actual_ttl = self.active_list.record_invalidation(query_key, notification.timestamp)
+        if actual_ttl is not None:
+            self.ttl_estimator.observe_query_invalidation(
+                query_key, actual_ttl, notification.timestamp
+            )
+        self.capacity.record_invalidation(query_key)
+        self.auditor.record_version(
+            query_key, f"invalidated@{notification.timestamp:.6f}", notification.timestamp
+        )
+        self._invalidate_key(query_key, notification.timestamp)
+
+    def _invalidate_key(self, key: str, timestamp: float) -> None:
+        """Mark ``key`` stale: EBF addition, CDN purges and hooks."""
+        added = self.ebf.report_invalidation(key, timestamp)
+        if added:
+            self.counters.increment("ebf_additions")
+        self.counters.increment("purges_sent")
+        for target in self._purge_targets:
+            if isinstance(target, InvalidationCache):
+                target.purge(key)
+            else:
+                target(key)
+        for hook in self._invalidation_hooks:
+            hook(key, timestamp)
+
+    # -- helpers -------------------------------------------------------------------------------------
+
+    def _register_in_invalidb(self, query: Query) -> None:
+        if self.invalidb.is_registered(query.cache_key):
+            return
+        # Stateful queries need the full (unwindowed) matching set so that
+        # InvaliDB can maintain the result order beyond the visible window.
+        if query.is_stateful:
+            full_query = Query(query.collection, query.criteria, sort=query.sort)
+            initial = self.database.find(full_query)
+        else:
+            initial = self.database.find(query)
+        self.frontend.submit_activation(query, initial)
+        for notification in self.frontend.pump():
+            self._handle_notification(notification)
+        self.counters.increment("queries_registered")
+
+    def _result_versions(self, collection: str, documents: List[Document]) -> Dict[str, int]:
+        store = self.database.collection(collection)
+        versions: Dict[str, int] = {}
+        for document in documents:
+            document_id = str(document["_id"])
+            versions[document_id] = self._safe_version(collection, document_id, store)
+        return versions
+
+    def _safe_version(self, collection: str, document_id: str, store=None) -> int:
+        target = store if store is not None else self.database.collection(collection)
+        try:
+            return target.version(document_id)
+        except DocumentNotFoundError:
+            return 0
+
+    def _object_list_body(
+        self, documents: List[Document], versions: Dict[str, int], record_ttl: float
+    ) -> Dict[str, Any]:
+        return {
+            "representation": ResultRepresentation.OBJECT_LIST.value,
+            "ids": [str(document["_id"]) for document in documents],
+            "documents": documents,
+            "record_versions": versions,
+            "record_ttl": record_ttl,
+        }
+
+    # -- statistics -----------------------------------------------------------------------------------
+
+    def statistics(self) -> Dict[str, Any]:
+        """A merged statistics snapshot (server counters + EBF + InvaliDB)."""
+        snapshot: Dict[str, Any] = dict(self.counters.as_dict())
+        snapshot["active_queries"] = len(self.active_list)
+        snapshot["invalidb_active_queries"] = self.invalidb.active_queries
+        snapshot["ebf_stale_keys"] = len(self.ebf)
+        return snapshot
+
+    def __repr__(self) -> str:
+        return (
+            f"QuaestorServer(collections={len(self.database.collection_names())}, "
+            f"active_queries={len(self.active_list)})"
+        )

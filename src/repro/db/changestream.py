@@ -1,0 +1,120 @@
+"""Change stream: ordered after-images of every write operation.
+
+InvaliDB continuously matches record after-images against registered queries.
+The database therefore publishes a :class:`ChangeEvent` for every insert,
+update and delete; the events carry both before- and after-images so the
+matcher can decide between *add*, *change* and *remove* notifications.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.db.documents import Document
+
+
+class OperationType(str, enum.Enum):
+    """Write operation categories producing change events."""
+
+    INSERT = "insert"
+    UPDATE = "update"
+    DELETE = "delete"
+
+
+@dataclass(frozen=True)
+class ChangeEvent:
+    """A single entry of the database change stream.
+
+    Attributes
+    ----------
+    sequence:
+        Monotonically increasing position in the global change stream; gives
+        the total order the staleness auditor reasons about.
+    operation:
+        Insert, update or delete.
+    collection, document_id:
+        Identity of the affected record.
+    before, after:
+        Before- and after-images.  ``before`` is ``None`` for inserts and
+        ``after`` is ``None`` for deletes.
+    timestamp:
+        Simulation time at which the write was acknowledged.
+    """
+
+    sequence: int
+    operation: OperationType
+    collection: str
+    document_id: str
+    before: Optional[Document]
+    after: Optional[Document]
+    timestamp: float
+
+    @property
+    def after_image(self) -> Optional[Document]:
+        """Alias matching the paper's terminology."""
+        return self.after
+
+
+ChangeListener = Callable[[ChangeEvent], None]
+
+
+class ChangeStream:
+    """Publishes change events to registered listeners and keeps a history.
+
+    Listeners are invoked synchronously in registration order, which keeps the
+    simulation deterministic; any propagation delay (e.g. asynchronous
+    invalidations) is modelled by the subscriber itself.
+    """
+
+    def __init__(self, history_limit: Optional[int] = None) -> None:
+        if history_limit is not None and history_limit <= 0:
+            raise ValueError("history_limit must be positive when given")
+        self._listeners: List[ChangeListener] = []
+        self._history: List[ChangeEvent] = []
+        self._history_limit = history_limit
+        self._sequence = 0
+
+    def subscribe(self, listener: ChangeListener) -> Callable[[], None]:
+        """Register ``listener``; returns a callable that unsubscribes it."""
+        self._listeners.append(listener)
+
+        def _unsubscribe() -> None:
+            if listener in self._listeners:
+                self._listeners.remove(listener)
+
+        return _unsubscribe
+
+    def next_sequence(self) -> int:
+        """Reserve and return the next sequence number."""
+        self._sequence += 1
+        return self._sequence
+
+    def publish(self, event: ChangeEvent) -> None:
+        """Record ``event`` and deliver it to all listeners."""
+        self._history.append(event)
+        if self._history_limit is not None and len(self._history) > self._history_limit:
+            del self._history[: len(self._history) - self._history_limit]
+        for listener in list(self._listeners):
+            listener(event)
+
+    def replay_since(self, sequence: int) -> List[ChangeEvent]:
+        """Events with a sequence strictly greater than ``sequence``.
+
+        Used when activating a query in InvaliDB: recently received objects
+        are replayed so no update in the activation window is missed.
+        """
+        return [event for event in self._history if event.sequence > sequence]
+
+    @property
+    def history(self) -> List[ChangeEvent]:
+        """The retained event history (oldest first)."""
+        return list(self._history)
+
+    @property
+    def last_sequence(self) -> int:
+        return self._sequence
+
+    def __len__(self) -> int:
+        return len(self._history)

@@ -1,0 +1,192 @@
+"""Collections: document storage, CRUD with after-images, and query execution."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.clock import Clock
+from repro.db.changestream import ChangeEvent, ChangeStream, OperationType
+from repro.db.documents import Document, deep_copy, sort_key
+from repro.db.indexes import IndexSet
+from repro.db.query import Query
+from repro.db.updates import apply_update
+from repro.errors import DocumentNotFoundError, DuplicateKeyError, InvalidQueryError
+
+
+class Collection:
+    """A named table of documents keyed by ``_id``.
+
+    Every mutating operation produces a :class:`ChangeEvent` carrying the
+    record's before- and after-image on the database's change stream -- the
+    raw material for InvaliDB's invalidation detection and for the TTL
+    estimator's write-rate sampling.
+    """
+
+    def __init__(self, name: str, clock: Clock, change_stream: ChangeStream) -> None:
+        if not name:
+            raise ValueError("collection name must not be empty")
+        self.name = name
+        self._clock = clock
+        self._change_stream = change_stream
+        self._documents: Dict[str, Document] = {}
+        self._versions: Dict[str, int] = {}
+        self._indexes = IndexSet()
+        self.reads = 0
+        self.writes = 0
+
+    # -- index administration -----------------------------------------------------
+
+    def create_index(self, field: str) -> None:
+        """Create a secondary equality index on ``field`` and backfill it."""
+        index = self._indexes.create(field)
+        for document_id, document in self._documents.items():
+            index.add(document_id, document)
+
+    def indexed_fields(self) -> List[str]:
+        return self._indexes.fields()
+
+    # -- CRUD -----------------------------------------------------------------------
+
+    def insert(self, document: Document) -> Document:
+        """Insert ``document``; it must carry a unique ``_id``."""
+        if "_id" not in document:
+            raise InvalidQueryError("documents must carry an explicit _id")
+        document_id = str(document["_id"])
+        if document_id in self._documents:
+            raise DuplicateKeyError(f"duplicate _id {document_id!r} in {self.name!r}")
+        stored = deep_copy(document)
+        self._documents[document_id] = stored
+        self._versions[document_id] = 1
+        self._indexes.add_document(document_id, stored)
+        self.writes += 1
+        self._publish(OperationType.INSERT, document_id, before=None, after=stored)
+        return deep_copy(stored)
+
+    def get(self, document_id: str) -> Document:
+        """Return the document with ``document_id`` (a deep copy)."""
+        self.reads += 1
+        document = self._documents.get(str(document_id))
+        if document is None:
+            raise DocumentNotFoundError(f"{self.name}/{document_id} does not exist")
+        return deep_copy(document)
+
+    def get_or_none(self, document_id: str) -> Optional[Document]:
+        """Like :meth:`get` but returns ``None`` instead of raising."""
+        self.reads += 1
+        document = self._documents.get(str(document_id))
+        return deep_copy(document) if document is not None else None
+
+    def exists(self, document_id: str) -> bool:
+        return str(document_id) in self._documents
+
+    def version(self, document_id: str) -> int:
+        """Monotonic per-document version counter (used for Etags)."""
+        version = self._versions.get(str(document_id))
+        if version is None:
+            raise DocumentNotFoundError(f"{self.name}/{document_id} does not exist")
+        return version
+
+    def update(self, document_id: str, update: Document) -> Document:
+        """Apply a partial update (or replacement) to an existing document."""
+        document_id = str(document_id)
+        current = self._documents.get(document_id)
+        if current is None:
+            raise DocumentNotFoundError(f"{self.name}/{document_id} does not exist")
+        before = deep_copy(current)
+        after = apply_update(current, update)
+        after["_id"] = current.get("_id", document_id)
+        self._documents[document_id] = after
+        self._versions[document_id] += 1
+        self._indexes.update_document(document_id, before, after)
+        self.writes += 1
+        self._publish(OperationType.UPDATE, document_id, before=before, after=deep_copy(after))
+        return deep_copy(after)
+
+    def replace(self, document_id: str, document: Document) -> Document:
+        """Replace the document entirely (keeping its ``_id``)."""
+        replacement = {key: value for key, value in document.items() if key != "_id"}
+        return self.update(document_id, replacement)
+
+    def delete(self, document_id: str) -> Document:
+        """Delete a document, returning its final state."""
+        document_id = str(document_id)
+        current = self._documents.pop(document_id, None)
+        if current is None:
+            raise DocumentNotFoundError(f"{self.name}/{document_id} does not exist")
+        self._versions.pop(document_id, None)
+        self._indexes.remove_document(document_id, current)
+        self.writes += 1
+        self._publish(OperationType.DELETE, document_id, before=deep_copy(current), after=None)
+        return deep_copy(current)
+
+    # -- queries -----------------------------------------------------------------------
+
+    def find(self, query: Query) -> List[Document]:
+        """Execute ``query`` and return matching documents (deep copies).
+
+        Sorting, offset and limit are applied after predicate evaluation, as
+        in the paper's MongoDB deployment.
+        """
+        if query.collection != self.name:
+            raise InvalidQueryError(
+                f"query targets {query.collection!r} but was executed on {self.name!r}"
+            )
+        self.reads += 1
+        candidate_ids = self._indexes.candidate_ids(query.criteria)
+        if candidate_ids is None:
+            candidates = self._documents.values()
+        else:
+            candidates = (
+                self._documents[document_id]
+                for document_id in candidate_ids
+                if document_id in self._documents
+            )
+        matching = [document for document in candidates if query.matches(document)]
+        if query.sort:
+            matching.sort(key=lambda document: sort_key(document, list(query.sort)))
+        else:
+            matching.sort(key=lambda document: str(document.get("_id", "")))
+        if query.offset:
+            matching = matching[query.offset:]
+        if query.limit is not None:
+            matching = matching[: query.limit]
+        return [deep_copy(document) for document in matching]
+
+    def count(self, query: Optional[Query] = None) -> int:
+        """Number of documents (matching ``query`` if given, ignoring windowing)."""
+        if query is None:
+            return len(self._documents)
+        return sum(1 for document in self._documents.values() if query.matches(document))
+
+    def ids(self) -> List[str]:
+        """All document ids in the collection."""
+        return sorted(self._documents)
+
+    # -- internals --------------------------------------------------------------------------
+
+    def _publish(
+        self,
+        operation: OperationType,
+        document_id: str,
+        before: Optional[Document],
+        after: Optional[Document],
+    ) -> None:
+        event = ChangeEvent(
+            sequence=self._change_stream.next_sequence(),
+            operation=operation,
+            collection=self.name,
+            document_id=document_id,
+            before=before,
+            after=after,
+            timestamp=self._clock.now(),
+        )
+        self._change_stream.publish(event)
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    def __contains__(self, document_id: str) -> bool:
+        return self.exists(document_id)
+
+    def __repr__(self) -> str:
+        return f"Collection(name={self.name!r}, documents={len(self._documents)})"

@@ -1,0 +1,126 @@
+"""Secondary indexes for equality predicates.
+
+A minimal hash-index implementation: it accelerates ``find`` calls whose
+filter contains a top-level equality condition on an indexed field.  Index
+maintenance happens synchronously on every write, mirroring how a database
+would keep secondary indexes consistent with the primary data.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Set
+
+from repro.db.documents import Document, get_path
+
+
+def _index_key(value: Any) -> str:
+    """A hashable, canonical representation of an indexed value."""
+    return json.dumps(value, sort_keys=True, default=str)
+
+
+class HashIndex:
+    """Equality index over a single (possibly dotted) field path."""
+
+    def __init__(self, field: str) -> None:
+        if not field:
+            raise ValueError("index field must not be empty")
+        self.field = field
+        self._entries: Dict[str, Set[str]] = {}
+
+    def add(self, document_id: str, document: Document) -> None:
+        """Index ``document`` under its current value(s) for the field."""
+        for value in self._values(document):
+            self._entries.setdefault(_index_key(value), set()).add(document_id)
+
+    def remove(self, document_id: str, document: Document) -> None:
+        """Remove ``document``'s entries from the index."""
+        for value in self._values(document):
+            key = _index_key(value)
+            bucket = self._entries.get(key)
+            if bucket is not None:
+                bucket.discard(document_id)
+                if not bucket:
+                    del self._entries[key]
+
+    def update(self, document_id: str, before: Document, after: Document) -> None:
+        """Re-index a document after an update."""
+        self.remove(document_id, before)
+        self.add(document_id, after)
+
+    def lookup(self, value: Any) -> Set[str]:
+        """Document ids whose field equals (or whose array contains) ``value``."""
+        return set(self._entries.get(_index_key(value), set()))
+
+    def _values(self, document: Document) -> List[Any]:
+        value = get_path(document, self.field, None)
+        if isinstance(value, list):
+            # Multikey behaviour: every array element is indexed individually.
+            return list(value) + [value]
+        return [value]
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._entries.values())
+
+    def __repr__(self) -> str:
+        return f"HashIndex(field={self.field!r}, distinct_values={len(self._entries)})"
+
+
+class IndexSet:
+    """The collection of secondary indexes attached to one collection."""
+
+    def __init__(self) -> None:
+        self._indexes: Dict[str, HashIndex] = {}
+
+    def create(self, field: str) -> HashIndex:
+        """Create (or return the existing) index on ``field``."""
+        index = self._indexes.get(field)
+        if index is None:
+            index = HashIndex(field)
+            self._indexes[field] = index
+        return index
+
+    def get(self, field: str) -> Optional[HashIndex]:
+        return self._indexes.get(field)
+
+    def fields(self) -> List[str]:
+        return sorted(self._indexes)
+
+    def add_document(self, document_id: str, document: Document) -> None:
+        for index in self._indexes.values():
+            index.add(document_id, document)
+
+    def remove_document(self, document_id: str, document: Document) -> None:
+        for index in self._indexes.values():
+            index.remove(document_id, document)
+
+    def update_document(self, document_id: str, before: Document, after: Document) -> None:
+        for index in self._indexes.values():
+            index.update(document_id, before, after)
+
+    def candidate_ids(self, criteria: Document) -> Optional[Set[str]]:
+        """Candidate document ids for ``criteria`` based on indexed equalities.
+
+        Returns ``None`` when no indexed field appears as a top-level equality
+        condition, in which case the caller must fall back to a full scan.
+        """
+        candidates: Optional[Set[str]] = None
+        for field, condition in criteria.items():
+            if field.startswith("$"):
+                continue
+            index = self._indexes.get(field)
+            if index is None:
+                continue
+            if isinstance(condition, dict):
+                if set(condition) == {"$eq"}:
+                    value = condition["$eq"]
+                else:
+                    continue
+            else:
+                value = condition
+            matched = index.lookup(value)
+            candidates = matched if candidates is None else candidates & matched
+        return candidates
+
+    def __len__(self) -> int:
+        return len(self._indexes)

@@ -1,0 +1,175 @@
+"""Query objects: normalisation, validation and cache-key derivation.
+
+A query in Quaestor is an arbitrary boolean expression of predicates over the
+documents of a single table, optionally with ``ORDER BY``/``LIMIT``/``OFFSET``
+clauses.  Queries are posed as HTTP GET requests, so every query needs a
+*normalised*, canonical string form that doubles as its cache key (URL) and as
+the key hashed into the Expiring Bloom Filter.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.db.documents import Document
+from repro.db.predicates import SUPPORTED_OPERATORS, matches
+from repro.errors import InvalidQueryError, UnsupportedOperationError
+
+_UNSUPPORTED_OPERATORS = {"$lookup", "$group", "$unwind", "$graphLookup", "$facet"}
+
+
+class Query:
+    """An immutable, normalised single-table query.
+
+    Parameters
+    ----------
+    collection:
+        Name of the table the query runs against.
+    criteria:
+        MongoDB-style filter document (may be empty to select all documents).
+    sort:
+        Optional sequence of ``(field, direction)`` pairs; direction is ``1``
+        or ``-1``.
+    limit, offset:
+        Optional result window.  Their presence makes the query *stateful*
+        from InvaliDB's point of view (Section 4.1, "Managing Query State").
+    """
+
+    __slots__ = ("collection", "criteria", "sort", "limit", "offset", "_cache_key")
+
+    def __init__(
+        self,
+        collection: str,
+        criteria: Optional[Document] = None,
+        sort: Optional[Sequence[Tuple[str, int]]] = None,
+        limit: Optional[int] = None,
+        offset: int = 0,
+    ) -> None:
+        if not collection:
+            raise InvalidQueryError("query requires a collection name")
+        if limit is not None and limit <= 0:
+            raise InvalidQueryError("limit must be positive when given")
+        if offset < 0:
+            raise InvalidQueryError("offset must be non-negative")
+        normalized_sort = tuple((field, int(direction)) for field, direction in (sort or ()))
+        for field, direction in normalized_sort:
+            if direction not in (1, -1):
+                raise InvalidQueryError(f"sort direction must be 1 or -1, got {direction}")
+            if not field:
+                raise InvalidQueryError("sort field must not be empty")
+        criteria = dict(criteria or {})
+        _validate_criteria(criteria)
+        object.__setattr__(self, "collection", collection)
+        object.__setattr__(self, "criteria", criteria)
+        object.__setattr__(self, "sort", normalized_sort)
+        object.__setattr__(self, "limit", limit)
+        object.__setattr__(self, "offset", int(offset))
+        object.__setattr__(self, "_cache_key", None)
+
+    def __setattr__(self, name: str, value: Any) -> None:  # pragma: no cover - guard
+        raise AttributeError("Query objects are immutable")
+
+    # -- matching ------------------------------------------------------------------
+
+    def matches(self, document: Document) -> bool:
+        """Whether ``document`` satisfies this query's predicate (ignores windowing)."""
+        return matches(document, self.criteria)
+
+    @property
+    def is_stateful(self) -> bool:
+        """True when the query carries ORDER BY / LIMIT / OFFSET clauses.
+
+        Stateful queries require InvaliDB to track result ordering and window
+        membership rather than per-record match status alone.
+        """
+        return bool(self.sort) or self.limit is not None or self.offset > 0
+
+    # -- normalisation ----------------------------------------------------------------
+
+    @property
+    def cache_key(self) -> str:
+        """Canonical string form used as cache URL and EBF key."""
+        key = object.__getattribute__(self, "_cache_key")
+        if key is None:
+            key = self._normalize()
+            object.__setattr__(self, "_cache_key", key)
+        return key
+
+    def _normalize(self) -> str:
+        payload = {
+            "c": self.collection,
+            "q": _canonical(self.criteria),
+            "s": [[field, direction] for field, direction in self.sort],
+            "l": self.limit,
+            "o": self.offset,
+        }
+        return "query:" + json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+    def to_url(self) -> str:
+        """REST resource path for this query (what web caches key on)."""
+        encoded = json.dumps(_canonical(self.criteria), sort_keys=True, separators=(",", ":"))
+        parts = [f"/db/{self.collection}/query?q={encoded}"]
+        if self.sort:
+            parts.append(f"&sort={json.dumps([list(pair) for pair in self.sort])}")
+        if self.limit is not None:
+            parts.append(f"&limit={self.limit}")
+        if self.offset:
+            parts.append(f"&offset={self.offset}")
+        return "".join(parts)
+
+    # -- dunder methods --------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Query):
+            return NotImplemented
+        return self.cache_key == other.cache_key
+
+    def __hash__(self) -> int:
+        return hash(self.cache_key)
+
+    def __repr__(self) -> str:
+        clauses = [f"collection={self.collection!r}", f"criteria={self.criteria!r}"]
+        if self.sort:
+            clauses.append(f"sort={list(self.sort)!r}")
+        if self.limit is not None:
+            clauses.append(f"limit={self.limit}")
+        if self.offset:
+            clauses.append(f"offset={self.offset}")
+        return "Query(" + ", ".join(clauses) + ")"
+
+
+def record_key(collection: str, document_id: str) -> str:
+    """Canonical EBF / cache key for an individual record."""
+    return f"record:{collection}/{document_id}"
+
+
+def _canonical(value: Any) -> Any:
+    """Recursively order dictionary keys so equivalent filters normalise equally."""
+    if isinstance(value, dict):
+        return {key: _canonical(value[key]) for key in sorted(value)}
+    if isinstance(value, list):
+        return [_canonical(item) for item in value]
+    return value
+
+
+def _validate_criteria(criteria: Document) -> None:
+    """Reject unknown or explicitly unsupported operators up front."""
+    for operator in _iter_operators(criteria):
+        if operator in _UNSUPPORTED_OPERATORS:
+            raise UnsupportedOperationError(
+                f"{operator} requires joins/aggregations, which InvaliDB does not support"
+            )
+        if operator not in SUPPORTED_OPERATORS and operator not in ("$each",):
+            raise InvalidQueryError(f"unsupported query operator: {operator}")
+
+
+def _iter_operators(node: Any) -> Iterable[str]:
+    if isinstance(node, dict):
+        for key, value in node.items():
+            if key.startswith("$"):
+                yield key
+            yield from _iter_operators(value)
+    elif isinstance(node, list):
+        for item in node:
+            yield from _iter_operators(item)

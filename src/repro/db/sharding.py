@@ -1,0 +1,70 @@
+"""Hash sharding of documents over shard servers.
+
+The paper's MongoDB cluster shards documents through their hashed primary
+key.  The :class:`HashSharder` reproduces that placement function and tracks
+per-shard operation counts so benchmarks can model the write-throughput limit
+of the database tier (the bottleneck the paper identifies for write-heavy
+workloads).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.bloom.hashing import stable_uint64
+
+
+@dataclass
+class ShardStatistics:
+    """Operation counters for a single shard."""
+
+    shard_id: int
+    reads: int = 0
+    writes: int = 0
+
+    @property
+    def operations(self) -> int:
+        return self.reads + self.writes
+
+
+class HashSharder:
+    """Deterministic hash placement of primary keys onto ``num_shards`` shards."""
+
+    def __init__(self, num_shards: int) -> None:
+        if num_shards <= 0:
+            raise ValueError("num_shards must be positive")
+        self.num_shards = int(num_shards)
+        self._statistics: Dict[int, ShardStatistics] = {
+            shard_id: ShardStatistics(shard_id) for shard_id in range(self.num_shards)
+        }
+
+    def shard_for(self, collection: str, document_id: str) -> int:
+        """The shard responsible for ``collection/document_id``."""
+        return stable_uint64(f"{collection}/{document_id}") % self.num_shards
+
+    def record_read(self, collection: str, document_id: str) -> int:
+        shard_id = self.shard_for(collection, document_id)
+        self._statistics[shard_id].reads += 1
+        return shard_id
+
+    def record_write(self, collection: str, document_id: str) -> int:
+        shard_id = self.shard_for(collection, document_id)
+        self._statistics[shard_id].writes += 1
+        return shard_id
+
+    def statistics(self) -> List[ShardStatistics]:
+        """Per-shard counters, ordered by shard id."""
+        return [self._statistics[shard_id] for shard_id in range(self.num_shards)]
+
+    def imbalance(self) -> float:
+        """Max/mean operation ratio across shards (1.0 = perfectly balanced)."""
+        counts = [stats.operations for stats in self._statistics.values()]
+        total = sum(counts)
+        if total == 0:
+            return 1.0
+        mean = total / self.num_shards
+        return max(counts) / mean if mean else 1.0
+
+    def __repr__(self) -> str:
+        return f"HashSharder(num_shards={self.num_shards}, imbalance={self.imbalance():.3f})"

@@ -1,0 +1,33 @@
+"""InvaliDB: the streaming query-invalidation pipeline (Section 4.1).
+
+InvaliDB registers every cached query and continuously matches the database's
+change stream (record after-images) against them.  Whenever a write changes
+the result of a registered query, a notification (*add*, *change*, *remove*,
+or *changeIndex* for sorted queries) is emitted; the Quaestor server turns
+those notifications into Expiring Bloom Filter additions and CDN purges.
+
+The workload is distributed over a grid of matching nodes by hash-partitioning
+both the set of active queries (query partitioning) and the stream of incoming
+after-images (object/datastream partitioning), so that overall capacity scales
+linearly with the number of nodes.
+"""
+
+from __future__ import annotations
+
+from repro.invalidb.events import Notification, NotificationType
+from repro.invalidb.matching import QueryMatchState
+from repro.invalidb.partitioning import PartitioningScheme
+from repro.invalidb.cluster import InvaliDBCluster, InvaliDBNode, NodeCapacityModel
+from repro.invalidb.capacity import CapacityManager, QueryCost
+
+__all__ = [
+    "Notification",
+    "NotificationType",
+    "QueryMatchState",
+    "PartitioningScheme",
+    "InvaliDBCluster",
+    "InvaliDBNode",
+    "NodeCapacityModel",
+    "CapacityManager",
+    "QueryCost",
+]

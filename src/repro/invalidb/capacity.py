@@ -1,0 +1,153 @@
+"""Capacity management: which queries are worth caching.
+
+The throughput of the invalidation pipeline limits how many queries can be
+cached at the same time.  Quaestor therefore admits only queries that are
+sufficiently cacheable and prioritises them by the cost of maintaining them
+(Section 4.1).  The cost model follows the paper's observation that Zipfian
+access patterns make a small set of "hot" queries sufficient for high cache
+hit rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.invalidb.cluster import InvaliDBCluster
+
+
+@dataclass
+class QueryCost:
+    """Bookkeeping for one candidate query."""
+
+    query_key: str
+    result_size: int = 0
+    read_count: int = 0
+    invalidation_count: int = 0
+
+    def record_read(self) -> None:
+        self.read_count += 1
+
+    def record_invalidation(self) -> None:
+        self.invalidation_count += 1
+
+    @property
+    def score(self) -> float:
+        """Benefit/cost score: reads served per invalidation incurred.
+
+        Queries that are read often and invalidated rarely score highest; the
+        result size is a secondary penalty because larger results are more
+        likely to be invalidated by any given update and cost more to rebuild.
+        """
+        benefit = float(self.read_count + 1)
+        cost = float(self.invalidation_count + 1) * (1.0 + self.result_size / 100.0)
+        return benefit / cost
+
+
+class CapacityManager:
+    """Admission control for the set of actively matched queries."""
+
+    def __init__(
+        self,
+        cluster: InvaliDBCluster,
+        expected_update_rate: float = 100.0,
+        headroom: float = 0.8,
+        max_active_queries: Optional[int] = None,
+    ) -> None:
+        if not 0 < headroom <= 1:
+            raise ValueError("headroom must lie in (0, 1]")
+        if expected_update_rate < 0:
+            raise ValueError("expected_update_rate must be non-negative")
+        self.cluster = cluster
+        self.expected_update_rate = expected_update_rate
+        self.headroom = headroom
+        self.max_active_queries = max_active_queries
+        self._costs: Dict[str, QueryCost] = {}
+        self._admitted: Dict[str, QueryCost] = {}
+        self.rejections = 0
+
+    # -- cost tracking --------------------------------------------------------------
+
+    def cost(self, query_key: str) -> QueryCost:
+        """The (possibly new) cost record for ``query_key``."""
+        record = self._costs.get(query_key)
+        if record is None:
+            record = QueryCost(query_key)
+            self._costs[query_key] = record
+        return record
+
+    def record_read(self, query_key: str, result_size: int) -> None:
+        record = self.cost(query_key)
+        record.record_read()
+        record.result_size = result_size
+
+    def record_invalidation(self, query_key: str) -> None:
+        self.cost(query_key).record_invalidation()
+
+    # -- admission ---------------------------------------------------------------------
+
+    def capacity_limit(self) -> float:
+        """Maximum admissible active queries given the cluster and update rate.
+
+        Derived from the per-node capacity: a node can evaluate
+        ``max_ops_per_second`` (query, update) pairs per second; with the
+        expected update rate split over the object partitions, the number of
+        queries each node can host follows directly.
+        """
+        per_node_updates = self.expected_update_rate / self.cluster.scheme.object_partitions
+        if per_node_updates <= 0:
+            return float("inf")
+        per_node_queries = (
+            self.cluster.capacity_model.max_ops_per_second * self.headroom / per_node_updates
+        )
+        return per_node_queries * self.cluster.scheme.query_partitions
+
+    def is_admitted(self, query_key: str) -> bool:
+        return query_key in self._admitted
+
+    def admit(self, query_key: str, result_size: int = 0) -> bool:
+        """Decide whether ``query_key`` may be cached (and matched by InvaliDB).
+
+        Already admitted queries stay admitted.  When the configured limits
+        are reached, the candidate must beat the lowest-scoring admitted query
+        to displace it; otherwise it is rejected and served uncached.
+        """
+        if query_key in self._admitted:
+            return True
+        record = self.cost(query_key)
+        record.result_size = result_size
+
+        limit = self.capacity_limit()
+        if self.max_active_queries is not None:
+            limit = min(limit, self.max_active_queries)
+
+        if len(self._admitted) < limit:
+            self._admitted[query_key] = record
+            return True
+
+        victim_key = self._lowest_scoring_admitted()
+        if victim_key is not None and self._costs[victim_key].score < record.score:
+            self.release(victim_key)
+            self._admitted[query_key] = record
+            return True
+
+        self.rejections += 1
+        return False
+
+    def release(self, query_key: str) -> bool:
+        """Remove a query from the admitted set (its cost history is kept)."""
+        return self._admitted.pop(query_key, None) is not None
+
+    def admitted_queries(self) -> List[str]:
+        return sorted(self._admitted)
+
+    def _lowest_scoring_admitted(self) -> Optional[str]:
+        if not self._admitted:
+            return None
+        return min(self._admitted, key=lambda key: self._admitted[key].score)
+
+    def __repr__(self) -> str:
+        return (
+            f"CapacityManager(admitted={len(self._admitted)}, tracked={len(self._costs)}, "
+            f"rejections={self.rejections})"
+        )

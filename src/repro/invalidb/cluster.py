@@ -1,0 +1,292 @@
+"""The InvaliDB cluster: matching nodes, capacity model and notification fan-out."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.db.changestream import ChangeEvent
+from repro.db.documents import Document
+from repro.db.query import Query
+from repro.errors import UnsupportedOperationError
+from repro.invalidb.events import Notification
+from repro.invalidb.matching import QueryMatchState
+from repro.invalidb.partitioning import PartitioningScheme
+
+NotificationHandler = Callable[[Notification], None]
+
+
+@dataclass(frozen=True)
+class NodeCapacityModel:
+    """Latency/throughput model of a single matching node.
+
+    Calibrated against the paper's measurements (Section 6.3): nodes sustain
+    roughly five million matching operations per second; 99th-percentile
+    notification latency stays below ~20 ms up to about three million ops/s
+    and rises sharply towards the capacity limit.
+    """
+
+    #: Matching operations (query evaluations) per second at saturation.
+    max_ops_per_second: float = 5_000_000.0
+    #: Notification latency floor in seconds (queue-empty case).
+    base_latency: float = 0.010
+    #: Queueing sensitivity: how quickly latency grows with utilisation.
+    latency_spread: float = 0.0025
+
+    def utilisation(self, offered_ops_per_second: float) -> float:
+        """Offered load as a fraction of capacity (may exceed 1.0)."""
+        if offered_ops_per_second < 0:
+            raise ValueError("offered load must be non-negative")
+        return offered_ops_per_second / self.max_ops_per_second
+
+    def p99_latency(self, offered_ops_per_second: float) -> float:
+        """99th-percentile notification latency at the given offered load.
+
+        Modelled as ``base + spread * u / (1 - u)``; saturated nodes return a
+        large spike value (operations queue up without bound).
+        """
+        utilisation = self.utilisation(offered_ops_per_second)
+        if utilisation >= 1.0:
+            return 10.0
+        return self.base_latency + self.latency_spread * utilisation / (1.0 - utilisation)
+
+    def sustainable_ops(self, latency_bound: float) -> float:
+        """Maximum per-node ops/s whose p99 latency stays within ``latency_bound``."""
+        if latency_bound <= self.base_latency:
+            return 0.0
+        slack = latency_bound - self.base_latency
+        max_utilisation = slack / (slack + self.latency_spread)
+        return max_utilisation * self.max_ops_per_second
+
+
+class InvaliDBNode:
+    """One matching-task instance: a grid cell of the partitioning scheme."""
+
+    def __init__(
+        self,
+        node_index: int,
+        query_partition: int,
+        object_partition: int,
+        scheme: PartitioningScheme,
+        capacity_model: NodeCapacityModel,
+    ) -> None:
+        self.node_index = node_index
+        self.query_partition = query_partition
+        self.object_partition = object_partition
+        self._scheme = scheme
+        self.capacity_model = capacity_model
+        self._states: Dict[str, QueryMatchState] = {}
+        self.match_operations = 0
+
+    # -- query lifecycle -------------------------------------------------------------
+
+    def register(self, query: Query, initial_result: List[Document]) -> QueryMatchState:
+        """Install ``query`` on this node, seeded with its initial result."""
+        state = QueryMatchState(
+            query, member_filter=self._scheme.member_filter(self.object_partition)
+        )
+        state.initialize(initial_result)
+        self._states[query.cache_key] = state
+        return state
+
+    def deregister(self, query_key: str) -> bool:
+        return self._states.pop(query_key, None) is not None
+
+    @property
+    def active_queries(self) -> int:
+        return len(self._states)
+
+    # -- matching ----------------------------------------------------------------------
+
+    def process(self, event: ChangeEvent) -> List[Notification]:
+        """Match ``event`` against every query registered on this node."""
+        notifications: List[Notification] = []
+        for state in self._states.values():
+            self.match_operations += 1
+            notifications.extend(state.process(event))
+        return notifications
+
+    def state(self, query_key: str) -> Optional[QueryMatchState]:
+        return self._states.get(query_key)
+
+    def __repr__(self) -> str:
+        return (
+            f"InvaliDBNode(index={self.node_index}, qp={self.query_partition}, "
+            f"op={self.object_partition}, queries={self.active_queries})"
+        )
+
+
+class InvaliDBCluster:
+    """The full matching grid plus the order-maintenance layer.
+
+    Stateless queries are spread over the two-dimensional grid; stateful
+    queries (ORDER BY / LIMIT / OFFSET) are handled by a separate processing
+    layer partitioned by query only, because their state cannot be split along
+    the object dimension (Section 4.1, "Managing Query State").
+    """
+
+    def __init__(
+        self,
+        matching_nodes: int = 1,
+        scheme: Optional[PartitioningScheme] = None,
+        capacity_model: Optional[NodeCapacityModel] = None,
+    ) -> None:
+        self.scheme = scheme if scheme is not None else PartitioningScheme.for_nodes(matching_nodes)
+        self.capacity_model = capacity_model if capacity_model is not None else NodeCapacityModel()
+        self.nodes: List[InvaliDBNode] = []
+        for query_partition in range(self.scheme.query_partitions):
+            for object_partition in range(self.scheme.object_partitions):
+                node_index = self.scheme.node_index(query_partition, object_partition)
+                self.nodes.append(
+                    InvaliDBNode(
+                        node_index,
+                        query_partition,
+                        object_partition,
+                        self.scheme,
+                        self.capacity_model,
+                    )
+                )
+        # Order-maintenance layer for stateful queries, partitioned by query.
+        self._stateful_states: Dict[str, QueryMatchState] = {}
+        self._stateful_home_node: Dict[str, int] = {}
+        self._registered: Dict[str, Query] = {}
+        self._handlers: List[NotificationHandler] = []
+        self.events_processed = 0
+        self.notifications_emitted = 0
+
+    # -- subscriptions ------------------------------------------------------------------
+
+    def subscribe(self, handler: NotificationHandler) -> Callable[[], None]:
+        """Register a notification handler; returns an unsubscribe callable."""
+        self._handlers.append(handler)
+
+        def _unsubscribe() -> None:
+            if handler in self._handlers:
+                self._handlers.remove(handler)
+
+        return _unsubscribe
+
+    # -- query lifecycle ------------------------------------------------------------------
+
+    def register_query(self, query: Query, initial_result: List[Document]) -> None:
+        """Activate ``query`` for invalidation detection.
+
+        The query must have been evaluated on Quaestor first; ``initial_result``
+        seeds the matching state so the very first relevant update already
+        produces the correct notification type.
+        """
+        if query.cache_key in self._registered:
+            # Re-registration refreshes the initial state (idempotent).
+            self.deregister_query(query.cache_key)
+        self._registered[query.cache_key] = query
+        if query.is_stateful:
+            state = QueryMatchState(query)
+            state.initialize(initial_result)
+            self._stateful_states[query.cache_key] = state
+            # For cost accounting the query is "homed" on one grid node.
+            home = self.scheme.node_index(
+                self.scheme.query_partition(query.cache_key), 0
+            )
+            self._stateful_home_node[query.cache_key] = home
+            return
+        for node_index in self.scheme.nodes_for_query(query.cache_key):
+            self.nodes[node_index].register(query, initial_result)
+
+    def deregister_query(self, query_key: str) -> bool:
+        """Deactivate a query (e.g. when it is evicted from the active list)."""
+        existed = self._registered.pop(query_key, None) is not None
+        self._stateful_states.pop(query_key, None)
+        self._stateful_home_node.pop(query_key, None)
+        for node in self.nodes:
+            node.deregister(query_key)
+        return existed
+
+    def is_registered(self, query_key: str) -> bool:
+        return query_key in self._registered
+
+    @property
+    def active_queries(self) -> int:
+        return len(self._registered)
+
+    # -- matching -----------------------------------------------------------------------------
+
+    def process_event(self, event: ChangeEvent) -> List[Notification]:
+        """Match one after-image against all registered queries."""
+        self.events_processed += 1
+        notifications: List[Notification] = []
+        for node_index in self.scheme.nodes_for_document(event.document_id):
+            notifications.extend(self.nodes[node_index].process(event))
+        for state in self._stateful_states.values():
+            notifications.extend(state.process(event))
+        self.notifications_emitted += len(notifications)
+        for notification in notifications:
+            for handler in self._handlers:
+                handler(notification)
+        return notifications
+
+    def process_events(self, events: List[ChangeEvent]) -> List[Notification]:
+        """Convenience batch form of :meth:`process_event`."""
+        notifications: List[Notification] = []
+        for event in events:
+            notifications.extend(self.process_event(event))
+        return notifications
+
+    # -- capacity and latency ----------------------------------------------------------------
+
+    def queries_per_node(self) -> List[int]:
+        """Number of active queries each node is responsible for."""
+        counts = [node.active_queries for node in self.nodes]
+        for query_key, home in self._stateful_home_node.items():
+            counts[home] += 1
+        return counts
+
+    def busiest_node_queries(self) -> int:
+        counts = self.queries_per_node()
+        return max(counts) if counts else 0
+
+    def offered_load_per_node(self, update_rate: float) -> List[float]:
+        """Matching ops/s per node for a cluster-wide update rate.
+
+        Each node sees the fraction of the change stream belonging to its
+        object partition and evaluates it against every query it hosts.
+        """
+        if update_rate < 0:
+            raise ValueError("update_rate must be non-negative")
+        per_partition_rate = update_rate / self.scheme.object_partitions
+        loads = []
+        for node, queries in zip(self.nodes, self.queries_per_node()):
+            loads.append(per_partition_rate * queries)
+        return loads
+
+    def estimated_p99_latency(self, update_rate: float) -> float:
+        """99th-percentile notification latency of the busiest node."""
+        loads = self.offered_load_per_node(update_rate)
+        if not loads:
+            return self.capacity_model.base_latency
+        return max(self.capacity_model.p99_latency(load) for load in loads)
+
+    def sustainable_throughput(self, latency_bound: float) -> float:
+        """Cluster-wide matching ops/s sustainable under ``latency_bound``.
+
+        Scales linearly with the number of matching nodes, the headline result
+        of Figure 12.
+        """
+        per_node = self.capacity_model.sustainable_ops(latency_bound)
+        return per_node * len(self.nodes)
+
+    # -- validation --------------------------------------------------------------------------------
+
+    @staticmethod
+    def validate_query(query: Query) -> None:
+        """Reject queries outside InvaliDB's scope (joins / aggregations)."""
+        # Joins and aggregations cannot be expressed through Query at all, so
+        # the only check needed here is a guard for future extension points.
+        if not isinstance(query, Query):
+            raise UnsupportedOperationError("only Query instances can be registered")
+
+    def __repr__(self) -> str:
+        return (
+            f"InvaliDBCluster(nodes={len(self.nodes)}, "
+            f"scheme={self.scheme.query_partitions}x{self.scheme.object_partitions}, "
+            f"queries={self.active_queries})"
+        )

@@ -1,0 +1,192 @@
+"""Per-query match-state tracking and notification derivation.
+
+For every registered query, InvaliDB has to know the *former* matching status
+of each record to decide between add, change and remove notifications when an
+after-image arrives.  Stateless queries only need that per-record boolean;
+stateful queries (ORDER BY / LIMIT / OFFSET) additionally maintain the ordered
+result via :class:`repro.invalidb.stateful.OrderedResultState`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.db.changestream import ChangeEvent, OperationType
+from repro.db.documents import Document
+from repro.db.query import Query
+from repro.invalidb.events import Notification, NotificationType
+from repro.invalidb.stateful import OrderedResultState
+
+
+class QueryMatchState:
+    """Matching state of one registered query (scoped to one object partition).
+
+    Parameters
+    ----------
+    query:
+        The registered query.
+    member_filter:
+        Optional predicate restricting which document ids this instance is
+        responsible for -- the object-partitioning hook.  Events for documents
+        outside the partition are ignored by this instance (another node's
+        instance handles them).
+    """
+
+    def __init__(self, query: Query, member_filter=None) -> None:
+        self.query = query
+        self.query_key = query.cache_key
+        self._member_filter = member_filter
+        self._matching_ids: Set[str] = set()
+        self._ordered: Optional[OrderedResultState] = (
+            OrderedResultState(query) if query.is_stateful else None
+        )
+        self.events_processed = 0
+        self.notifications_emitted = 0
+
+    # -- bootstrap -------------------------------------------------------------------
+
+    def initialize(self, initial_result: List[Document]) -> None:
+        """Seed the state with the initial result set evaluated by Quaestor."""
+        relevant = [
+            document
+            for document in initial_result
+            if self._is_responsible(str(document["_id"]))
+        ]
+        self._matching_ids = {str(document["_id"]) for document in relevant}
+        if self._ordered is not None:
+            self._ordered.initialize(relevant)
+
+    # -- matching ---------------------------------------------------------------------
+
+    def process(self, event: ChangeEvent) -> List[Notification]:
+        """Match one change event; returns the notifications it triggers."""
+        if event.collection != self.query.collection:
+            return []
+        if not self._is_responsible(event.document_id):
+            return []
+        self.events_processed += 1
+
+        was_match = event.document_id in self._matching_ids
+        after = event.after
+        is_match = (
+            after is not None
+            and event.operation != OperationType.DELETE
+            and self.query.matches(after)
+        )
+
+        if self._ordered is not None:
+            notifications = self._process_stateful(event, was_match, is_match)
+        else:
+            notifications = self._process_stateless(event, was_match, is_match)
+        self.notifications_emitted += len(notifications)
+        return notifications
+
+    # -- stateless path -----------------------------------------------------------------
+
+    def _process_stateless(
+        self, event: ChangeEvent, was_match: bool, is_match: bool
+    ) -> List[Notification]:
+        if not was_match and is_match:
+            self._matching_ids.add(event.document_id)
+            return [self._notification(NotificationType.ADD, event)]
+        if was_match and not is_match:
+            self._matching_ids.discard(event.document_id)
+            return [self._notification(NotificationType.REMOVE, event)]
+        if was_match and is_match and self._content_changed(event):
+            return [self._notification(NotificationType.CHANGE, event)]
+        return []
+
+    # -- stateful path -------------------------------------------------------------------
+
+    def _process_stateful(
+        self, event: ChangeEvent, was_match: bool, is_match: bool
+    ) -> List[Notification]:
+        assert self._ordered is not None
+        window_before = self._ordered.window_ids()
+
+        if is_match:
+            self._matching_ids.add(event.document_id)
+            self._ordered.apply_match(event.document_id, event.after or {})
+        else:
+            self._matching_ids.discard(event.document_id)
+            self._ordered.apply_unmatch(event.document_id)
+
+        window_after = self._ordered.window_ids()
+        notifications: List[Notification] = []
+
+        from repro.invalidb.stateful import window_diff
+
+        entered, left, moved = window_diff(window_before, window_after)
+        for document_id in entered:
+            notifications.append(
+                self._notification(NotificationType.ADD, event, document_id=document_id)
+            )
+        for document_id in left:
+            notifications.append(
+                self._notification(NotificationType.REMOVE, event, document_id=document_id)
+            )
+        for document_id, new_index in moved:
+            notifications.append(
+                self._notification(
+                    NotificationType.CHANGE_INDEX,
+                    event,
+                    document_id=document_id,
+                    new_index=new_index,
+                )
+            )
+        # A pure content change of a record visible in the window.
+        if (
+            was_match
+            and is_match
+            and event.document_id in window_after
+            and event.document_id not in entered
+            and self._content_changed(event)
+        ):
+            notifications.append(self._notification(NotificationType.CHANGE, event))
+        return notifications
+
+    # -- helpers --------------------------------------------------------------------------
+
+    def _is_responsible(self, document_id: str) -> bool:
+        if self._member_filter is None:
+            return True
+        return self._member_filter(document_id)
+
+    @staticmethod
+    def _content_changed(event: ChangeEvent) -> bool:
+        return event.before != event.after
+
+    def _notification(
+        self,
+        notification_type: NotificationType,
+        event: ChangeEvent,
+        document_id: Optional[str] = None,
+        new_index: Optional[int] = None,
+    ) -> Notification:
+        return Notification(
+            query_key=self.query_key,
+            query=self.query,
+            type=notification_type,
+            document_id=document_id if document_id is not None else event.document_id,
+            timestamp=event.timestamp,
+            new_index=new_index,
+        )
+
+    # -- introspection -----------------------------------------------------------------------
+
+    @property
+    def matching_ids(self) -> Set[str]:
+        """The ids this instance currently considers part of the result."""
+        return set(self._matching_ids)
+
+    def result_window(self) -> Optional[List[str]]:
+        """Visible window for stateful queries (``None`` for stateless ones)."""
+        if self._ordered is None:
+            return None
+        return self._ordered.window_ids()
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryMatchState(query={self.query_key[:40]!r}..., "
+            f"matching={len(self._matching_ids)}, stateful={self.query.is_stateful})"
+        )

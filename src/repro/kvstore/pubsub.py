@@ -1,0 +1,74 @@
+"""Publish/subscribe channels (Redis Pub/Sub style).
+
+InvaliDB notifications, CDN purge fan-out and the optional websocket-style
+query change streams are all delivered over channels provided by this broker.
+Delivery is synchronous and in-order, which keeps simulations deterministic;
+network delay is modelled separately by :mod:`repro.simulation`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List
+
+Handler = Callable[[str, Any], None]
+
+
+class Subscription:
+    """Handle returned by :meth:`PubSubBroker.subscribe`; supports cancellation."""
+
+    def __init__(self, broker: "PubSubBroker", channel: str, handler: Handler) -> None:
+        self._broker = broker
+        self.channel = channel
+        self.handler = handler
+        self.active = True
+
+    def unsubscribe(self) -> None:
+        """Stop receiving messages on this subscription."""
+        if self.active:
+            self._broker._remove(self)
+            self.active = False
+
+
+class PubSubBroker:
+    """A minimal topic-based publish/subscribe broker."""
+
+    def __init__(self) -> None:
+        self._subscriptions: Dict[str, List[Subscription]] = {}
+        self.published = 0
+        self.delivered = 0
+
+    def subscribe(self, channel: str, handler: Handler) -> Subscription:
+        """Register ``handler`` for messages published on ``channel``."""
+        subscription = Subscription(self, channel, handler)
+        self._subscriptions.setdefault(channel, []).append(subscription)
+        return subscription
+
+    def publish(self, channel: str, message: Any) -> int:
+        """Deliver ``message`` to all active subscribers of ``channel``.
+
+        Returns the number of handlers invoked (like Redis' PUBLISH reply).
+        """
+        self.published += 1
+        receivers = list(self._subscriptions.get(channel, ()))
+        count = 0
+        for subscription in receivers:
+            if subscription.active:
+                subscription.handler(channel, message)
+                count += 1
+        self.delivered += count
+        return count
+
+    def subscriber_count(self, channel: str) -> int:
+        """Number of active subscriptions on ``channel``."""
+        return sum(1 for sub in self._subscriptions.get(channel, ()) if sub.active)
+
+    def _remove(self, subscription: Subscription) -> None:
+        listeners = self._subscriptions.get(subscription.channel)
+        if listeners and subscription in listeners:
+            listeners.remove(subscription)
+            if not listeners:
+                del self._subscriptions[subscription.channel]
+
+    def __repr__(self) -> str:
+        channels = len(self._subscriptions)
+        return f"PubSubBroker(channels={channels}, published={self.published})"

@@ -1,0 +1,246 @@
+"""An in-memory key-value store mimicking the Redis commands Quaestor needs."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.clock import Clock, VirtualClock
+
+
+class KeyValueStore:
+    """In-process reproduction of the Redis feature subset used by Quaestor.
+
+    Supported value types and commands:
+
+    * strings -- ``set``, ``get``, ``delete``, ``exists``, ``incr_by``
+    * hashes -- ``hset``, ``hget``, ``hgetall``, ``hdel``, ``hincrby``, ``hlen``
+    * sorted sets -- ``zadd``, ``zscore``, ``zrangebyscore``, ``zremrangebyscore``,
+      ``zrem``, ``zcard``
+    * key expiration -- ``expire``, ``ttl`` (lazily enforced against the clock)
+
+    The store is deliberately single-threaded and deterministic: operation
+    counting (``operations``) lets the simulator model per-instance throughput
+    limits such as the ">150 K operations per second per Redis instance"
+    figure the paper reports for its EBF backend.
+    """
+
+    def __init__(self, clock: Optional[Clock] = None) -> None:
+        self._clock: Clock = clock if clock is not None else VirtualClock()
+        self._strings: Dict[str, Any] = {}
+        self._hashes: Dict[str, Dict[str, Any]] = {}
+        self._zsets: Dict[str, Dict[str, float]] = {}
+        self._expirations: Dict[str, float] = {}
+        self.operations = 0
+
+    # -- helpers ----------------------------------------------------------------
+
+    @property
+    def clock(self) -> Clock:
+        return self._clock
+
+    def _purge_if_expired(self, key: str) -> None:
+        deadline = self._expirations.get(key)
+        if deadline is not None and deadline <= self._clock.now():
+            self._remove_key(key)
+
+    def _remove_key(self, key: str) -> None:
+        self._strings.pop(key, None)
+        self._hashes.pop(key, None)
+        self._zsets.pop(key, None)
+        self._expirations.pop(key, None)
+
+    def _touch(self) -> None:
+        self.operations += 1
+
+    # -- string commands ---------------------------------------------------------
+
+    def set(self, key: str, value: Any, ttl: Optional[float] = None) -> None:
+        """Store ``value`` under ``key``, optionally expiring after ``ttl`` seconds."""
+        self._touch()
+        self._purge_if_expired(key)
+        self._strings[key] = value
+        if ttl is not None:
+            self.expire(key, ttl)
+        else:
+            self._expirations.pop(key, None)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        self._touch()
+        self._purge_if_expired(key)
+        return self._strings.get(key, default)
+
+    def delete(self, key: str) -> bool:
+        """Remove ``key`` of any type; returns whether something was deleted."""
+        self._touch()
+        self._purge_if_expired(key)
+        existed = key in self._strings or key in self._hashes or key in self._zsets
+        self._remove_key(key)
+        return existed
+
+    def exists(self, key: str) -> bool:
+        self._touch()
+        self._purge_if_expired(key)
+        return key in self._strings or key in self._hashes or key in self._zsets
+
+    def incr_by(self, key: str, amount: int = 1) -> int:
+        """Atomically increment an integer counter, creating it at zero."""
+        self._touch()
+        self._purge_if_expired(key)
+        current = self._strings.get(key, 0)
+        if not isinstance(current, int):
+            raise TypeError(f"key {key!r} does not hold an integer")
+        updated = current + amount
+        self._strings[key] = updated
+        return updated
+
+    # -- hash commands -------------------------------------------------------------
+
+    def hset(self, key: str, field: str, value: Any) -> None:
+        self._touch()
+        self._purge_if_expired(key)
+        self._hashes.setdefault(key, {})[field] = value
+
+    def hget(self, key: str, field: str, default: Any = None) -> Any:
+        self._touch()
+        self._purge_if_expired(key)
+        return self._hashes.get(key, {}).get(field, default)
+
+    def hgetall(self, key: str) -> Dict[str, Any]:
+        self._touch()
+        self._purge_if_expired(key)
+        return dict(self._hashes.get(key, {}))
+
+    def hdel(self, key: str, field: str) -> bool:
+        self._touch()
+        self._purge_if_expired(key)
+        fields = self._hashes.get(key)
+        if fields is None or field not in fields:
+            return False
+        del fields[field]
+        if not fields:
+            del self._hashes[key]
+        return True
+
+    def hincrby(self, key: str, field: str, amount: int = 1) -> int:
+        self._touch()
+        self._purge_if_expired(key)
+        fields = self._hashes.setdefault(key, {})
+        current = fields.get(field, 0)
+        if not isinstance(current, int):
+            raise TypeError(f"hash field {key!r}.{field!r} does not hold an integer")
+        updated = current + amount
+        if updated == 0:
+            fields.pop(field, None)
+            if not fields:
+                del self._hashes[key]
+        else:
+            fields[field] = updated
+        return updated
+
+    def hlen(self, key: str) -> int:
+        self._touch()
+        self._purge_if_expired(key)
+        return len(self._hashes.get(key, {}))
+
+    # -- sorted set commands ---------------------------------------------------------
+
+    def zadd(self, key: str, member: str, score: float) -> None:
+        self._touch()
+        self._purge_if_expired(key)
+        self._zsets.setdefault(key, {})[member] = float(score)
+
+    def zscore(self, key: str, member: str) -> Optional[float]:
+        self._touch()
+        self._purge_if_expired(key)
+        return self._zsets.get(key, {}).get(member)
+
+    def zrem(self, key: str, member: str) -> bool:
+        self._touch()
+        self._purge_if_expired(key)
+        members = self._zsets.get(key)
+        if members is None or member not in members:
+            return False
+        del members[member]
+        if not members:
+            del self._zsets[key]
+        return True
+
+    def zcard(self, key: str) -> int:
+        self._touch()
+        self._purge_if_expired(key)
+        return len(self._zsets.get(key, {}))
+
+    def zrangebyscore(
+        self, key: str, minimum: float, maximum: float
+    ) -> List[Tuple[str, float]]:
+        """Members with ``minimum <= score <= maximum``, ordered by score."""
+        self._touch()
+        self._purge_if_expired(key)
+        members = self._zsets.get(key, {})
+        selected = [
+            (member, score)
+            for member, score in members.items()
+            if minimum <= score <= maximum
+        ]
+        selected.sort(key=lambda pair: (pair[1], pair[0]))
+        return selected
+
+    def zremrangebyscore(self, key: str, minimum: float, maximum: float) -> int:
+        """Remove members in the score range; returns how many were removed."""
+        self._touch()
+        self._purge_if_expired(key)
+        members = self._zsets.get(key)
+        if not members:
+            return 0
+        doomed = [
+            member for member, score in members.items() if minimum <= score <= maximum
+        ]
+        for member in doomed:
+            del members[member]
+        if not members:
+            del self._zsets[key]
+        return len(doomed)
+
+    # -- expiration -----------------------------------------------------------------
+
+    def expire(self, key: str, ttl: float) -> bool:
+        """Expire ``key`` (of any type) ``ttl`` seconds from now."""
+        self._touch()
+        if ttl < 0:
+            raise ValueError("ttl must be non-negative")
+        if not (key in self._strings or key in self._hashes or key in self._zsets):
+            return False
+        self._expirations[key] = self._clock.now() + ttl
+        return True
+
+    def ttl(self, key: str) -> Optional[float]:
+        """Remaining lifetime of ``key`` in seconds, or ``None`` if persistent."""
+        self._touch()
+        self._purge_if_expired(key)
+        deadline = self._expirations.get(key)
+        if deadline is None:
+            return None
+        return max(0.0, deadline - self._clock.now())
+
+    # -- administration ----------------------------------------------------------------
+
+    def keys(self) -> Iterable[str]:
+        """All live keys across value types (after purging expired ones)."""
+        for key in list(self._strings) + list(self._hashes) + list(self._zsets):
+            self._purge_if_expired(key)
+        live = set(self._strings) | set(self._hashes) | set(self._zsets)
+        return sorted(live)
+
+    def flush(self) -> None:
+        """Remove every key (FLUSHALL)."""
+        self._touch()
+        self._strings.clear()
+        self._hashes.clear()
+        self._zsets.clear()
+        self._expirations.clear()
+
+    def __len__(self) -> int:
+        return len(list(self.keys()))
+
+    def __repr__(self) -> str:
+        return f"KeyValueStore(keys={len(self)}, operations={self.operations})"

@@ -1,0 +1,15 @@
+"""Measurement utilities: histograms, counters and experiment reporters."""
+
+from __future__ import annotations
+
+from repro.metrics.counters import Counter, ThroughputWindow
+from repro.metrics.histogram import Histogram
+from repro.metrics.reporter import ExperimentReport, format_table
+
+__all__ = [
+    "Counter",
+    "ThroughputWindow",
+    "Histogram",
+    "ExperimentReport",
+    "format_table",
+]

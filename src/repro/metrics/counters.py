@@ -1,0 +1,82 @@
+"""Counters and throughput windows."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Optional
+
+
+class Counter:
+    """A named group of integer counters."""
+
+    def __init__(self) -> None:
+        self._counts: Dict[str, int] = defaultdict(int)
+
+    def increment(self, name: str, amount: int = 1) -> int:
+        """Increase ``name`` by ``amount`` and return the new value."""
+        self._counts[name] += amount
+        return self._counts[name]
+
+    def get(self, name: str) -> int:
+        return self._counts.get(name, 0)
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self._counts)
+
+    def reset(self) -> None:
+        self._counts.clear()
+
+    def __getitem__(self, name: str) -> int:
+        return self.get(name)
+
+    def __repr__(self) -> str:
+        return f"Counter({dict(self._counts)!r})"
+
+
+class ThroughputWindow:
+    """Operations-per-second accounting over a measured time window.
+
+    The simulator records completed operations together with the virtual time
+    at which they finished; throughput is operations divided by the window
+    length, matching how the paper reports ops/s for a fixed load phase.
+    """
+
+    def __init__(self) -> None:
+        self._operations = 0
+        self._first_timestamp: Optional[float] = None
+        self._last_timestamp: Optional[float] = None
+
+    def record(self, timestamp: float, operations: int = 1) -> None:
+        """Record ``operations`` completions at ``timestamp``."""
+        if operations < 0:
+            raise ValueError("operations must be non-negative")
+        if self._first_timestamp is None:
+            self._first_timestamp = timestamp
+        self._last_timestamp = timestamp
+        self._operations += operations
+
+    @property
+    def operations(self) -> int:
+        return self._operations
+
+    @property
+    def duration(self) -> float:
+        """Length of the observed window in seconds."""
+        if self._first_timestamp is None or self._last_timestamp is None:
+            return 0.0
+        return max(0.0, self._last_timestamp - self._first_timestamp)
+
+    def throughput(self, window: Optional[float] = None) -> float:
+        """Operations per second over ``window`` (or the observed duration)."""
+        duration = window if window is not None else self.duration
+        if duration <= 0:
+            return 0.0
+        return self._operations / duration
+
+    def reset(self) -> None:
+        self._operations = 0
+        self._first_timestamp = None
+        self._last_timestamp = None
+
+    def __repr__(self) -> str:
+        return f"ThroughputWindow(operations={self._operations}, duration={self.duration:.3f}s)"

@@ -1,0 +1,142 @@
+"""Latency/value histograms with percentile queries."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+class Histogram:
+    """A value recorder supporting mean, percentiles and fixed-width buckets.
+
+    All recorded samples are retained (experiments in this reproduction record
+    at most a few million samples), which keeps percentile computation exact
+    rather than approximate.
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._samples: List[float] = []
+        self._sorted: Optional[List[float]] = None
+
+    # -- recording ---------------------------------------------------------------
+
+    def record(self, value: float) -> None:
+        """Add a single sample."""
+        self._samples.append(float(value))
+        self._sorted = None
+
+    def record_many(self, values: Iterable[float]) -> None:
+        """Add many samples at once."""
+        self._samples.extend(float(value) for value in values)
+        self._sorted = None
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram's samples into this one."""
+        self._samples.extend(other._samples)
+        self._sorted = None
+
+    def clear(self) -> None:
+        self._samples.clear()
+        self._sorted = None
+
+    # -- statistics ---------------------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean (0.0 when empty)."""
+        if not self._samples:
+            return 0.0
+        return sum(self._samples) / len(self._samples)
+
+    @property
+    def minimum(self) -> float:
+        return min(self._samples) if self._samples else 0.0
+
+    @property
+    def maximum(self) -> float:
+        return max(self._samples) if self._samples else 0.0
+
+    @property
+    def stddev(self) -> float:
+        """Population standard deviation."""
+        if len(self._samples) < 2:
+            return 0.0
+        mean = self.mean
+        variance = sum((value - mean) ** 2 for value in self._samples) / len(self._samples)
+        return math.sqrt(variance)
+
+    def percentile(self, fraction: float) -> float:
+        """Exact percentile using linear interpolation between order statistics."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("percentile fraction must lie in [0, 1]")
+        if not self._samples:
+            return 0.0
+        ordered = self._ordered()
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = fraction * (len(ordered) - 1)
+        lower = int(math.floor(rank))
+        upper = int(math.ceil(rank))
+        if lower == upper:
+            return ordered[lower]
+        weight = rank - lower
+        return ordered[lower] * (1.0 - weight) + ordered[upper] * weight
+
+    def cdf(self, points: Optional[Sequence[float]] = None) -> List[Tuple[float, float]]:
+        """Empirical CDF as (value, cumulative probability) pairs.
+
+        When ``points`` is omitted, the CDF is evaluated at every distinct
+        sample value (suitable for plotting, e.g. Figure 11).
+        """
+        if not self._samples:
+            return []
+        ordered = self._ordered()
+        total = len(ordered)
+        if points is None:
+            result: List[Tuple[float, float]] = []
+            for index, value in enumerate(ordered, start=1):
+                if result and result[-1][0] == value:
+                    result[-1] = (value, index / total)
+                else:
+                    result.append((value, index / total))
+            return result
+        import bisect
+
+        return [(point, bisect.bisect_right(ordered, point) / total) for point in points]
+
+    def buckets(self, width: float, maximum: Optional[float] = None) -> Dict[float, int]:
+        """Fixed-width bucket counts keyed by bucket lower bound (Figure 8f)."""
+        if width <= 0:
+            raise ValueError("bucket width must be positive")
+        counts: Dict[float, int] = {}
+        cap = maximum if maximum is not None else (self.maximum + width)
+        for value in self._samples:
+            clamped = min(value, cap)
+            bucket = math.floor(clamped / width) * width
+            counts[bucket] = counts.get(bucket, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def samples(self) -> List[float]:
+        """A copy of the raw samples."""
+        return list(self._samples)
+
+    # -- internals --------------------------------------------------------------------
+
+    def _ordered(self) -> List[float]:
+        if self._sorted is None:
+            self._sorted = sorted(self._samples)
+        return self._sorted
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def __repr__(self) -> str:
+        return (
+            f"Histogram(name={self.name!r}, count={self.count}, mean={self.mean:.3f}, "
+            f"p99={self.percentile(0.99):.3f})"
+        )

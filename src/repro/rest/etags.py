@@ -1,0 +1,31 @@
+"""Entity tags for conditional revalidation.
+
+When a client or cache revalidates a (presumably) stale resource, it sends the
+Etag of its cached copy; the origin answers *304 Not Modified* when the tag
+still matches, avoiding a full body transfer.  Etags here derive from the
+record version counter (or, for query results, from the member ids and their
+versions) so they change exactly when the cached representation changes.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.bloom.hashing import stable_uint64
+
+
+def etag_for(payload: Any) -> str:
+    """A strong Etag derived deterministically from ``payload``."""
+    canonical = json.dumps(payload, sort_keys=True, default=str, separators=(",", ":"))
+    return f'"{stable_uint64(canonical):016x}"'
+
+
+def etag_for_version(collection: str, document_id: str, version: int) -> str:
+    """Etag for an individual record at a specific version."""
+    return etag_for({"c": collection, "id": document_id, "v": version})
+
+
+def weak_compare(left: str, right: str) -> bool:
+    """Weak comparison: equal ignoring the ``W/`` prefix."""
+    return left.lstrip("W/") == right.lstrip("W/")

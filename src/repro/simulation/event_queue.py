@@ -1,0 +1,84 @@
+"""A minimal discrete-event queue ordered by virtual timestamp."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Tuple
+
+
+@dataclass(order=True)
+class ScheduledEvent:
+    """An event scheduled for a point in virtual time."""
+
+    timestamp: float
+    sequence: int
+    action: Callable[[], None] = field(compare=False)
+    label: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event as cancelled; it will be skipped when popped."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """Priority queue of :class:`ScheduledEvent` ordered by timestamp.
+
+    Ties are broken by insertion order, which keeps simulations fully
+    deterministic.
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[ScheduledEvent] = []
+        self._counter = itertools.count()
+        self.processed = 0
+
+    def schedule(self, timestamp: float, action: Callable[[], None], label: str = "") -> ScheduledEvent:
+        """Schedule ``action`` to run at ``timestamp``."""
+        if timestamp < 0:
+            raise ValueError("timestamp must be non-negative")
+        event = ScheduledEvent(
+            timestamp=timestamp, sequence=next(self._counter), action=action, label=label
+        )
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Optional[ScheduledEvent]:
+        """Remove and return the next non-cancelled event (or ``None``)."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.processed += 1
+            return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Timestamp of the next pending event without removing it."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].timestamp if self._heap else None
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+    def run_until(self, clock, end_time: float) -> int:
+        """Execute events (advancing ``clock``) until ``end_time``; returns count."""
+        executed = 0
+        while True:
+            next_time = self.peek_time()
+            if next_time is None or next_time > end_time:
+                break
+            event = self.pop()
+            if event is None:
+                break
+            clock.advance_to(event.timestamp)
+            event.action()
+            executed += 1
+        clock.advance_to(end_time)
+        return executed

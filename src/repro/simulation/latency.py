@@ -1,0 +1,115 @@
+"""Latency models for the network paths in a Quaestor deployment.
+
+The EC2 experiments in the paper place the workload generators in Northern
+California and the Quaestor/MongoDB/InvaliDB deployment in Ireland, giving a
+mean wide-area round-trip of ~145 ms; the Fastly CDN edge answers in ~4 ms and
+client-cache hits are effectively free.  These constants are the defaults of
+:class:`NetworkTopology`; every latency can also be drawn from a distribution
+to model jitter.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+#: First-load round-trip latencies (seconds) from the Figure 1 regions to an
+#: EU-hosted origin -- representative public-internet numbers used to model
+#: the provider comparison when no CDN edge is involved.
+REGION_RTT_SECONDS: Dict[str, float] = {
+    "Frankfurt": 0.030,
+    "California": 0.150,
+    "Sydney": 0.290,
+    "Tokyo": 0.230,
+}
+
+
+@dataclass
+class LatencyModel:
+    """A latency source: a mean with optional lognormal-style jitter."""
+
+    mean: float
+    jitter: float = 0.0
+    minimum: float = 0.0
+    _rng: random.Random = field(default_factory=lambda: random.Random(17), repr=False)
+
+    def __post_init__(self) -> None:
+        if self.mean < 0:
+            raise ValueError("mean latency must be non-negative")
+        if self.jitter < 0:
+            raise ValueError("jitter must be non-negative")
+        if self.minimum < 0:
+            raise ValueError("minimum must be non-negative")
+
+    def sample(self) -> float:
+        """Draw one latency sample (mean when jitter is zero)."""
+        if self.jitter == 0.0:
+            return max(self.minimum, self.mean)
+        value = self._rng.gauss(self.mean, self.jitter)
+        return max(self.minimum, value)
+
+    def reseed(self, seed: int) -> None:
+        """Reset the jitter stream (used to make experiments reproducible)."""
+        self._rng = random.Random(seed)
+
+
+@dataclass
+class NetworkTopology:
+    """All network paths the simulator needs, with paper-calibrated defaults."""
+
+    #: Client-cache (browser) hits complete without network involvement.
+    client_cache_hit: LatencyModel = field(default_factory=lambda: LatencyModel(0.0))
+    #: Round trip between end device and the nearest CDN edge.
+    cdn_hit: LatencyModel = field(default_factory=lambda: LatencyModel(0.004, jitter=0.001))
+    #: Wide-area round trip between end device and the origin (DBaaS).
+    origin_round_trip: LatencyModel = field(
+        default_factory=lambda: LatencyModel(0.145, jitter=0.005, minimum=0.050)
+    )
+    #: Server-side processing time for a cache miss (query execution etc.).
+    server_processing: LatencyModel = field(default_factory=lambda: LatencyModel(0.005, jitter=0.002))
+    #: Additional processing for write operations (DB write + replication).
+    write_processing: LatencyModel = field(default_factory=lambda: LatencyModel(0.008, jitter=0.002))
+    #: Delay between a write being acknowledged and CDN purges taking effect.
+    invalidation_delay: LatencyModel = field(default_factory=lambda: LatencyModel(0.050, jitter=0.010))
+
+    def read_latency(self, level: str) -> float:
+        """Latency of a read/query answered at ``level`` (client/cdn/origin)."""
+        if level == "client":
+            return self.client_cache_hit.sample()
+        if level == "cdn":
+            return self.cdn_hit.sample()
+        if level == "origin":
+            return self.origin_round_trip.sample() + self.server_processing.sample()
+        raise ValueError(f"unknown cache level {level!r}")
+
+    def write_latency(self) -> float:
+        """Latency of a write operation (always served by the origin)."""
+        return self.origin_round_trip.sample() + self.write_processing.sample()
+
+    def reseed(self, seed: int) -> None:
+        """Reseed all jitter streams deterministically."""
+        for offset, model in enumerate(
+            (
+                self.client_cache_hit,
+                self.cdn_hit,
+                self.origin_round_trip,
+                self.server_processing,
+                self.write_processing,
+                self.invalidation_delay,
+            )
+        ):
+            model.reseed(seed + offset)
+
+    @classmethod
+    def no_jitter(cls) -> "NetworkTopology":
+        """A deterministic topology (used in unit tests)."""
+        return cls(
+            client_cache_hit=LatencyModel(0.0),
+            cdn_hit=LatencyModel(0.004),
+            origin_round_trip=LatencyModel(0.145),
+            server_processing=LatencyModel(0.005),
+            write_processing=LatencyModel(0.008),
+            invalidation_delay=LatencyModel(0.050),
+        )

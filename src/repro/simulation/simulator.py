@@ -1,0 +1,402 @@
+"""The Monte Carlo simulator driving clients against a Quaestor deployment.
+
+The simulator builds a complete deployment (document database, Quaestor
+server, InvaliDB cluster, CDN, per-client browser caches), spawns a set of
+simulated client instances each holding many asynchronous connections, and
+advances a virtual clock through a discrete-event loop.  Every operation's
+latency is derived from the cache level that answered it; throughput emerges
+from connection counts, latencies and two explicit capacity limits (client
+instances and the origin), matching the saturation behaviour of the paper's
+EC2 experiments.  A staleness auditor checks every read against the globally
+ordered write history, giving the Delta-atomicity measurements of Figure 10.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.caching.invalidation import InvalidationCache
+from repro.clock import VirtualClock
+from repro.client.sdk import QuaestorClient, SESSION_LEVEL
+from repro.core.config import QuaestorConfig
+from repro.core.server import QuaestorServer
+from repro.db.database import Database
+from repro.errors import ConfigurationError
+from repro.invalidb.cluster import InvaliDBCluster
+from repro.metrics.counters import Counter
+from repro.metrics.histogram import Histogram
+from repro.simulation.event_queue import EventQueue
+from repro.simulation.latency import NetworkTopology
+from repro.simulation.staleness import StalenessAuditor
+from repro.workloads.dataset import Dataset, DatasetSpec, generate_dataset
+from repro.workloads.generator import WorkloadGenerator, WorkloadSpec
+from repro.workloads.operations import Operation, OperationType
+
+
+class CachingMode(str, enum.Enum):
+    """The four system configurations compared throughout Section 6.2."""
+
+    #: Full system: client caches + CDN + Expiring Bloom Filter.
+    QUAESTOR = "quaestor"
+    #: EBF-governed client caches only (no CDN).
+    EBF_ONLY = "ebf-only"
+    #: CDN with InvaliDB purges, but no client caches and no EBF.
+    CDN_ONLY = "cdn-only"
+    #: No web caching at all (the Orestes-style uncached baseline).
+    UNCACHED = "uncached"
+
+    @property
+    def uses_cdn(self) -> bool:
+        return self in (CachingMode.QUAESTOR, CachingMode.CDN_ONLY)
+
+    @property
+    def uses_client_cache(self) -> bool:
+        return self in (CachingMode.QUAESTOR, CachingMode.EBF_ONLY)
+
+    @property
+    def uses_ebf(self) -> bool:
+        return self in (CachingMode.QUAESTOR, CachingMode.EBF_ONLY)
+
+
+@dataclass
+class SimulationConfig:
+    """Everything needed to run one simulated experiment."""
+
+    mode: CachingMode = CachingMode.QUAESTOR
+    workload: WorkloadSpec = field(default_factory=WorkloadSpec.read_heavy)
+    dataset: DatasetSpec = field(default_factory=DatasetSpec)
+    num_clients: int = 10
+    connections_per_client: int = 300
+    ebf_refresh_interval: float = 1.0
+    matching_nodes: int = 8
+    duration: float = 30.0
+    #: Fraction of ``max_operations`` executed before measurement starts, so
+    #: that caches have warmed up regardless of the achieved throughput.
+    warmup_fraction: float = 0.2
+    max_operations: int = 20_000
+    seed: int = 42
+    topology: NetworkTopology = field(default_factory=NetworkTopology)
+    quaestor: QuaestorConfig = field(default_factory=QuaestorConfig)
+    #: Requests per second one client instance can issue (client-tier limit).
+    client_instance_capacity: float = 15_000.0
+    #: Requests per second the origin (DBaaS + database) can absorb.
+    origin_capacity: float = 15_000.0
+    audit_staleness: bool = True
+
+    def __post_init__(self) -> None:
+        if self.num_clients <= 0 or self.connections_per_client <= 0:
+            raise ConfigurationError("client and connection counts must be positive")
+        if self.duration <= 0:
+            raise ConfigurationError("duration must be positive")
+        if not 0.0 <= self.warmup_fraction < 1.0:
+            raise ConfigurationError("warmup_fraction must lie in [0, 1)")
+        if self.max_operations <= 0:
+            raise ConfigurationError("max_operations must be positive")
+        if self.client_instance_capacity <= 0 or self.origin_capacity <= 0:
+            raise ConfigurationError("capacities must be positive")
+
+    @property
+    def total_connections(self) -> int:
+        return self.num_clients * self.connections_per_client
+
+
+@dataclass
+class SimulationResult:
+    """Aggregated outcome of one simulation run."""
+
+    mode: CachingMode
+    connections: int
+    measured_duration: float
+    operations: int
+    throughput: float
+    read_latency: Histogram
+    query_latency: Histogram
+    write_latency: Histogram
+    level_counts: Dict[str, Dict[str, int]]
+    client_query_hit_rate: float
+    client_read_hit_rate: float
+    cdn_query_hit_rate: float
+    cdn_read_hit_rate: float
+    query_stale_rate: float
+    read_stale_rate: float
+    cdn_stale_rate: float
+    server_statistics: Dict[str, float]
+
+    def summary(self) -> Dict[str, float]:
+        """Flat summary used by the benchmark reports."""
+        return {
+            "throughput": self.throughput,
+            "mean_read_latency_ms": self.read_latency.mean * 1000.0,
+            "mean_query_latency_ms": self.query_latency.mean * 1000.0,
+            "client_query_hit_rate": self.client_query_hit_rate,
+            "client_read_hit_rate": self.client_read_hit_rate,
+            "cdn_query_hit_rate": self.cdn_query_hit_rate,
+            "cdn_read_hit_rate": self.cdn_read_hit_rate,
+            "query_stale_rate": self.query_stale_rate,
+            "read_stale_rate": self.read_stale_rate,
+        }
+
+
+class Simulator:
+    """Builds a deployment from a :class:`SimulationConfig` and runs it."""
+
+    def __init__(self, config: SimulationConfig, dataset: Optional[Dataset] = None) -> None:
+        self.config = config
+        self.clock = VirtualClock()
+        self.events = EventQueue()
+        self.rng = random.Random(config.seed)
+        config.topology.reseed(config.seed)
+
+        # --- substrate: database pre-loaded before the server subscribes. ---
+        self.database = Database(clock=self.clock)
+        self.dataset = dataset if dataset is not None else generate_dataset(config.dataset)
+        self.dataset.load_into(self.database)
+
+        # --- Quaestor deployment. ---
+        quaestor_config = config.quaestor
+        if config.mode is CachingMode.UNCACHED:
+            quaestor_config = QuaestorConfig.uncached()
+        self.auditor = StalenessAuditor()
+        self.server = QuaestorServer(
+            self.database,
+            config=quaestor_config,
+            invalidb=InvaliDBCluster(matching_nodes=config.matching_nodes),
+            auditor=self.auditor,
+        )
+
+        self.cdn: Optional[InvalidationCache] = None
+        if config.mode.uses_cdn:
+            self.cdn = InvalidationCache("cdn", self.clock)
+            self.server.register_purge_target(self._delayed_purge)
+
+        # --- clients: one SDK instance per client machine, many connections each. ---
+        self.clients: List[QuaestorClient] = []
+        for index in range(config.num_clients):
+            client = QuaestorClient(
+                self.server,
+                cdn=self.cdn,
+                clock=self.clock,
+                refresh_interval=config.ebf_refresh_interval,
+                use_client_cache=config.mode.uses_client_cache,
+                use_ebf=config.mode.uses_ebf,
+                name=f"client-{index}",
+            )
+            if config.mode.uses_ebf:
+                client.connect()
+            self.clients.append(client)
+
+        self.workload = WorkloadGenerator(config.workload, self.dataset)
+
+        # --- capacity limits (token spacing per client instance and origin). ---
+        self._client_next_slot = [0.0] * config.num_clients
+        self._origin_next_slot = 0.0
+
+        # --- metrics. ---
+        self.read_latency = Histogram("read")
+        self.query_latency = Histogram("query")
+        self.write_latency = Histogram("write")
+        self.level_counts: Dict[str, Counter] = {
+            "read": Counter(),
+            "query": Counter(),
+            "write": Counter(),
+        }
+        self._stale_counts = Counter()
+        self._measured_operations = 0
+        self._total_operations = 0
+        self._warmup_operations = int(config.warmup_fraction * config.max_operations)
+        self._measure_start_time: Optional[float] = None
+        self._stop_time = config.duration
+        self._stopped_at: Optional[float] = None
+
+    # -- purge path -------------------------------------------------------------------------
+
+    def _delayed_purge(self, key: str) -> None:
+        """Purge the CDN after the configured invalidation delay."""
+        if self.cdn is None:
+            return
+        delay = self.config.topology.invalidation_delay.sample()
+        self.events.schedule(
+            self.clock.now() + delay, lambda: self.cdn.purge(key), label=f"purge:{key[:30]}"
+        )
+
+    # -- main loop ----------------------------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        """Run the simulation and return aggregated results."""
+        connection_id = 0
+        for client_index in range(self.config.num_clients):
+            for _ in range(self.config.connections_per_client):
+                start = self.rng.uniform(0.0, 0.01)
+                self._schedule_connection(client_index, start)
+                connection_id += 1
+
+        while True:
+            next_time = self.events.peek_time()
+            if next_time is None:
+                break
+            if next_time > self._stop_time:
+                break
+            if self._total_operations >= self.config.max_operations:
+                break
+            event = self.events.pop()
+            if event is None:
+                break
+            self.clock.advance_to(event.timestamp)
+            event.action()
+
+        self._stopped_at = self.clock.now()
+        return self._collect_results()
+
+    # -- per-connection behaviour -------------------------------------------------------------
+
+    def _schedule_connection(self, client_index: int, at_time: float) -> None:
+        """Schedule the next request of one connection belonging to a client."""
+        self.events.schedule(
+            at_time, lambda: self._execute_operation(client_index), label="op"
+        )
+
+    def _client_wait(self, client_index: int) -> float:
+        """Queueing delay at the client instance (its request-issue capacity)."""
+        now = self.clock.now()
+        next_slot = self._client_next_slot[client_index]
+        wait = max(0.0, next_slot - now)
+        self._client_next_slot[client_index] = (
+            max(now, next_slot) + 1.0 / self.config.client_instance_capacity
+        )
+        return wait
+
+    def _execute_operation(self, client_index: int) -> None:
+        client = self.clients[client_index]
+        operation = self.workload.next_operation()
+        start_time = self.clock.now()
+        issue_wait = self._client_wait(client_index)
+
+        latency, op_class, key, etag, level = self._perform(client, operation)
+
+        # Client-side queueing delays the next request of this connection but
+        # is not part of the per-request latency the paper reports.
+        completion = start_time + issue_wait + latency
+        self._total_operations += 1
+        if self._measure_start_time is None and self._total_operations > self._warmup_operations:
+            self._measure_start_time = start_time
+        measured = self._measure_start_time is not None
+        if measured:
+            self._measured_operations += 1
+            self._record_metrics(op_class, latency)
+            self.level_counts[op_class].increment(level)
+        if (
+            measured
+            and self.config.audit_staleness
+            and op_class in ("read", "query")
+            and etag is not None
+        ):
+            audit = self.auditor.audit_read(key, etag, start_time)
+            if audit.stale:
+                self._stale_counts.increment(f"stale_{op_class}")
+            self._stale_counts.increment(f"audited_{op_class}")
+
+        self._schedule_connection(client_index, completion)
+
+    def _perform(self, client: QuaestorClient, operation: Operation):
+        """Execute one operation and derive its latency from the serving level."""
+        topology = self.config.topology
+        if operation.type == OperationType.QUERY:
+            result = client.query(operation.query)
+            latency = self._read_path_latency(result.level)
+            for extra_level in result.extra_levels:
+                latency += self._read_path_latency(extra_level)
+            return latency, "query", result.key, result.etag, result.level
+
+        if operation.type == OperationType.READ:
+            result = client.read(operation.collection, operation.document_id)
+            latency = self._read_path_latency(result.level)
+            return latency, "read", result.key, result.etag, result.level
+
+        # Writes always travel to the origin and pay its capacity constraint.
+        if operation.type == OperationType.UPDATE:
+            result = client.update(operation.collection, operation.document_id, operation.payload)
+        elif operation.type == OperationType.INSERT:
+            result = client.insert(operation.collection, operation.payload)
+        else:
+            result = client.delete(operation.collection, operation.document_id)
+        latency = topology.write_latency() + self._origin_wait()
+        return latency, "write", result.key, None, "origin"
+
+    def _read_path_latency(self, level: str) -> float:
+        """Latency of a read/query answered at ``level`` plus origin queueing."""
+        if level == SESSION_LEVEL:
+            return 0.0
+        latency = self.config.topology.read_latency(level if level != SESSION_LEVEL else "client")
+        if level == "origin":
+            latency += self._origin_wait()
+        return latency
+
+    def _origin_wait(self) -> float:
+        """Queueing delay at the origin: requests are spaced by its capacity."""
+        now = self.clock.now()
+        wait = max(0.0, self._origin_next_slot - now)
+        self._origin_next_slot = max(now, self._origin_next_slot) + 1.0 / self.config.origin_capacity
+        return wait
+
+    def _record_metrics(self, op_class: str, latency: float) -> None:
+        if op_class == "read":
+            self.read_latency.record(latency)
+        elif op_class == "query":
+            self.query_latency.record(latency)
+        else:
+            self.write_latency.record(latency)
+
+    # -- result aggregation -------------------------------------------------------------------------
+
+    def _collect_results(self) -> SimulationResult:
+        end_time = self._stopped_at if self._stopped_at is not None else self._stop_time
+        start_time = self._measure_start_time if self._measure_start_time is not None else end_time
+        measured_duration = max(1e-9, end_time - start_time)
+        throughput = self._measured_operations / measured_duration
+
+        def hit_rate(op_class: str, level: str) -> float:
+            counts = self.level_counts[op_class].as_dict()
+            total = sum(counts.values())
+            return counts.get(level, 0) / total if total else 0.0
+
+        def stale_rate(op_class: str) -> float:
+            audited = self._stale_counts.get(f"audited_{op_class}")
+            if audited == 0:
+                return 0.0
+            return self._stale_counts.get(f"stale_{op_class}") / audited
+
+        cdn_stale_rate = 0.0
+        if self.cdn is not None and self.cdn.stats.lookups:
+            # Upper bound on CDN-served staleness: hits that would have been
+            # purged were it not for the invalidation delay are not tracked
+            # individually, so report the auditor's overall rate for reads that
+            # came from the CDN-backed levels.
+            cdn_stale_rate = stale_rate("query")
+
+        return SimulationResult(
+            mode=self.config.mode,
+            connections=self.config.total_connections,
+            measured_duration=measured_duration,
+            operations=self._measured_operations,
+            throughput=throughput,
+            read_latency=self.read_latency,
+            query_latency=self.query_latency,
+            write_latency=self.write_latency,
+            level_counts={name: counter.as_dict() for name, counter in self.level_counts.items()},
+            client_query_hit_rate=hit_rate("query", "client"),
+            client_read_hit_rate=hit_rate("read", "client"),
+            cdn_query_hit_rate=hit_rate("query", "cdn"),
+            cdn_read_hit_rate=hit_rate("read", "cdn"),
+            query_stale_rate=stale_rate("query"),
+            read_stale_rate=stale_rate("read"),
+            cdn_stale_rate=cdn_stale_rate,
+            server_statistics=self.server.statistics(),
+        )
+
+
+def run_simulation(config: SimulationConfig, dataset: Optional[Dataset] = None) -> SimulationResult:
+    """Convenience wrapper: build a :class:`Simulator` and run it."""
+    return Simulator(config, dataset=dataset).run()

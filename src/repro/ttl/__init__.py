@@ -1,0 +1,39 @@
+"""Statistical TTL estimation (Section 4.2 of the paper).
+
+A cached record or query result should ideally expire right before its next
+update, maximising cache hit rates while avoiding unnecessary invalidations.
+Quaestor's estimator uses a dual strategy:
+
+* an initial estimate from a Poisson model of incoming writes -- per-record
+  write rates are sampled, the result set's time-to-next-write is the minimum
+  of exponentials, and the TTL is read off the quantile function, and
+* an exponentially weighted moving average (EWMA) refinement for queries,
+  nudging the estimate towards the *actual* TTL observed whenever a cached
+  query result is invalidated.
+
+Baselines from the related-work discussion (static TTLs, the Alex protocol,
+and an Alici-style adaptive scheme) are provided for the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from repro.ttl.base import TTLBounds, TTLEstimator
+from repro.ttl.write_rate import WriteRateSampler
+from repro.ttl.poisson import poisson_quantile_ttl
+from repro.ttl.ewma import EwmaTracker
+from repro.ttl.estimator import QuaestorTTLEstimator
+from repro.ttl.static import StaticTTLEstimator
+from repro.ttl.alex import AlexTTLEstimator
+from repro.ttl.adaptive import AdaptiveTTLEstimator
+
+__all__ = [
+    "TTLBounds",
+    "TTLEstimator",
+    "WriteRateSampler",
+    "poisson_quantile_ttl",
+    "EwmaTracker",
+    "QuaestorTTLEstimator",
+    "StaticTTLEstimator",
+    "AlexTTLEstimator",
+    "AdaptiveTTLEstimator",
+]

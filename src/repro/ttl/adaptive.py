@@ -1,0 +1,59 @@
+"""Alici-style adaptive TTL baseline for query results.
+
+Alici et al. propose an adaptive TTL scheme for web-search result caches: when
+a cached query expires it is compared with the fresh result; if it changed,
+the TTL is reset to a minimum, otherwise it is increased by an increment
+function.  Unlike Quaestor's estimator it ignores invalidations and learns
+only at expiration time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.ttl.base import TTLBounds, TTLEstimator
+
+
+class AdaptiveTTLEstimator(TTLEstimator):
+    """Reset-to-minimum / additive-increase TTLs driven by observed changes."""
+
+    def __init__(
+        self,
+        minimum_ttl: float = 5.0,
+        increment: float = 10.0,
+        bounds: Optional[TTLBounds] = None,
+    ) -> None:
+        super().__init__(bounds)
+        if minimum_ttl <= 0:
+            raise ValueError("minimum_ttl must be positive")
+        if increment <= 0:
+            raise ValueError("increment must be positive")
+        self.minimum_ttl = minimum_ttl
+        self.increment = increment
+        self._ttls: Dict[str, float] = {}
+
+    def estimate_record(self, record_key: str, now: float) -> float:
+        return self.bounds.clamp(self._ttls.get(record_key, self.minimum_ttl))
+
+    def estimate_query(
+        self, query_key: str, member_record_keys: Sequence[str], now: float
+    ) -> float:
+        return self.bounds.clamp(self._ttls.get(query_key, self.minimum_ttl))
+
+    def observe_unchanged(self, key: str) -> float:
+        """The entry expired without having changed: increase its TTL."""
+        updated = self._ttls.get(key, self.minimum_ttl) + self.increment
+        self._ttls[key] = updated
+        return updated
+
+    def observe_changed(self, key: str) -> float:
+        """The entry was found changed at expiration: reset to the minimum."""
+        self._ttls[key] = self.minimum_ttl
+        return self.minimum_ttl
+
+    def observe_query_invalidation(
+        self, query_key: str, actual_ttl: float, timestamp: float
+    ) -> None:
+        # Invalidations indicate the result changed; treat like a changed
+        # entry so the scheme is usable in the Quaestor pipeline for ablations.
+        self.observe_changed(query_key)

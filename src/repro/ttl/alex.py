@@ -1,0 +1,59 @@
+"""The Alex protocol baseline.
+
+The Alex FTP cache computes the TTL as a fixed percentage of the time since
+the resource was last modified, capped by an upper bound.  It is a widely
+deployed heuristic (HTTP heuristic freshness works the same way) but neither
+converges to the true TTL nor yields estimates for never-modified resources
+other than the cap -- the shortcomings the paper contrasts Quaestor's
+estimator with.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.ttl.base import TTLBounds, TTLEstimator
+
+
+class AlexTTLEstimator(TTLEstimator):
+    """TTL = ``percentage`` x (time since last modification), capped."""
+
+    def __init__(
+        self,
+        percentage: float = 0.2,
+        cap: float = 300.0,
+        bounds: Optional[TTLBounds] = None,
+    ) -> None:
+        super().__init__(bounds)
+        if not 0.0 < percentage <= 1.0:
+            raise ValueError("percentage must lie in (0, 1]")
+        if cap <= 0:
+            raise ValueError("cap must be positive")
+        self.percentage = percentage
+        self.cap = cap
+        self._last_modified: Dict[str, float] = {}
+
+    def estimate_record(self, record_key: str, now: float) -> float:
+        return self.bounds.clamp(self._alex_ttl(record_key, now))
+
+    def estimate_query(
+        self, query_key: str, member_record_keys: Sequence[str], now: float
+    ) -> float:
+        # The most recently modified member governs the query's estimate.
+        if member_record_keys:
+            ttl = min(self._alex_ttl(key, now) for key in member_record_keys)
+        else:
+            ttl = self.cap
+        return self.bounds.clamp(ttl)
+
+    def observe_write(self, record_key: str, timestamp: float) -> None:
+        self._last_modified[record_key] = timestamp
+
+    # -- internals ----------------------------------------------------------------------
+
+    def _alex_ttl(self, key: str, now: float) -> float:
+        last_modified = self._last_modified.get(key)
+        if last_modified is None:
+            return self.cap
+        age = max(0.0, now - last_modified)
+        return min(self.cap, self.percentage * age)

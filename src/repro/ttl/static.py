@@ -1,0 +1,30 @@
+"""Static TTL baseline (the straw-man from Section 3 of the paper)."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.ttl.base import TTLBounds, TTLEstimator
+
+
+class StaticTTLEstimator(TTLEstimator):
+    """Assigns the same application-defined TTL to every record and query.
+
+    With a static TTL either many stale reads occur (TTL too high) or cache
+    hit rates suffer (TTL too low); the ablation benchmark quantifies this
+    trade-off against the adaptive schemes.
+    """
+
+    def __init__(self, ttl: float = 60.0, bounds: Optional[TTLBounds] = None) -> None:
+        super().__init__(bounds)
+        if ttl < 0:
+            raise ValueError("ttl must be non-negative")
+        self.ttl = ttl
+
+    def estimate_record(self, record_key: str, now: float) -> float:
+        return self.bounds.clamp(self.ttl)
+
+    def estimate_query(
+        self, query_key: str, member_record_keys: Sequence[str], now: float
+    ) -> float:
+        return self.bounds.clamp(self.ttl)

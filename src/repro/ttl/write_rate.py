@@ -1,0 +1,78 @@
+"""Per-record write-rate sampling.
+
+For each database record, Quaestor estimates (through sampling) the rate of
+incoming writes ``lambda_w`` in some time window.  The sampler keeps a bounded
+history of recent write timestamps per key and derives the arrival rate from
+it; keys that have never been written fall back to a configurable default
+rate, which corresponds to an optimistic initial TTL.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Optional
+
+
+class WriteRateSampler:
+    """Sliding-window estimator of per-key write arrival rates."""
+
+    def __init__(
+        self,
+        window: float = 600.0,
+        max_samples_per_key: int = 50,
+        default_rate: float = 1.0 / 600.0,
+    ) -> None:
+        if window <= 0:
+            raise ValueError("window must be positive")
+        if max_samples_per_key <= 1:
+            raise ValueError("max_samples_per_key must be at least 2")
+        if default_rate <= 0:
+            raise ValueError("default_rate must be positive")
+        self.window = window
+        self.max_samples_per_key = max_samples_per_key
+        self.default_rate = default_rate
+        self._samples: Dict[str, Deque[float]] = {}
+
+    # -- recording -------------------------------------------------------------------
+
+    def observe_write(self, key: str, timestamp: float) -> None:
+        """Record a write to ``key`` at ``timestamp``."""
+        samples = self._samples.get(key)
+        if samples is None:
+            samples = deque(maxlen=self.max_samples_per_key)
+            self._samples[key] = samples
+        samples.append(timestamp)
+
+    # -- estimation --------------------------------------------------------------------
+
+    def write_rate(self, key: str, now: float) -> float:
+        """Estimated writes per second for ``key`` (``default_rate`` if unknown).
+
+        The rate is the number of writes inside the sliding window divided by
+        the window span actually observed.  Keys whose last write left the
+        window decay back towards the default rate.
+        """
+        samples = self._samples.get(key)
+        if not samples:
+            return self.default_rate
+        cutoff = now - self.window
+        recent = [timestamp for timestamp in samples if timestamp >= cutoff]
+        if not recent:
+            return self.default_rate
+        span = max(now - recent[0], 1e-9)
+        return len(recent) / span
+
+    def mean_interarrival(self, key: str, now: float) -> float:
+        """Mean time between writes (the reciprocal of the write rate)."""
+        return 1.0 / self.write_rate(key, now)
+
+    def last_write(self, key: str) -> Optional[float]:
+        """Timestamp of the most recent observed write to ``key``."""
+        samples = self._samples.get(key)
+        return samples[-1] if samples else None
+
+    def tracked_keys(self) -> int:
+        return len(self._samples)
+
+    def __repr__(self) -> str:
+        return f"WriteRateSampler(window={self.window}, tracked={self.tracked_keys()})"

@@ -1,0 +1,133 @@
+"""Request distributions: Zipfian, uniform and hotspot key selection.
+
+The Zipfian generator follows the standard YCSB construction (Gray et al.'s
+rejection-free algorithm) so that popularity skew matches what the paper's
+workload generator produces.  A scrambled variant spreads the popular items
+across the keyspace, avoiding accidental correlation between key id and
+popularity.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Optional, Protocol
+
+from repro.bloom.hashing import stable_uint64
+
+
+class KeyDistribution(Protocol):
+    """Anything that yields item indexes in ``[0, item_count)``."""
+
+    def next_index(self) -> int:
+        ...
+
+    @property
+    def item_count(self) -> int:
+        ...
+
+
+class UniformGenerator:
+    """Uniformly random selection over ``item_count`` items."""
+
+    def __init__(self, item_count: int, rng: Optional[random.Random] = None) -> None:
+        if item_count <= 0:
+            raise ValueError("item_count must be positive")
+        self._item_count = item_count
+        self._rng = rng if rng is not None else random.Random(0)
+
+    @property
+    def item_count(self) -> int:
+        return self._item_count
+
+    def next_index(self) -> int:
+        return self._rng.randrange(self._item_count)
+
+
+class ZipfianGenerator:
+    """Zipfian selection with configurable skew constant (YCSB algorithm)."""
+
+    def __init__(
+        self,
+        item_count: int,
+        constant: float = 0.99,
+        rng: Optional[random.Random] = None,
+        scrambled: bool = True,
+    ) -> None:
+        if item_count <= 0:
+            raise ValueError("item_count must be positive")
+        if constant <= 0 or constant >= 2:
+            raise ValueError("zipfian constant must lie in (0, 2)")
+        if abs(constant - 1.0) < 1e-9:
+            # The closed-form zeta approximation below divides by (1 - theta).
+            constant = 1.0 - 1e-6
+        self._item_count = item_count
+        self._constant = constant
+        self._rng = rng if rng is not None else random.Random(0)
+        self._scrambled = scrambled
+
+        self._zeta_n = self._zeta(item_count, constant)
+        self._theta = constant
+        self._alpha = 1.0 / (1.0 - self._theta)
+        self._zeta2 = self._zeta(2, constant)
+        self._eta = (1 - (2.0 / item_count) ** (1 - self._theta)) / (
+            1 - self._zeta2 / self._zeta_n
+        )
+
+    @staticmethod
+    def _zeta(count: int, theta: float) -> float:
+        return sum(1.0 / (i**theta) for i in range(1, count + 1))
+
+    @property
+    def item_count(self) -> int:
+        return self._item_count
+
+    @property
+    def constant(self) -> float:
+        return self._constant
+
+    def next_index(self) -> int:
+        """Draw the next item index (0 is the most popular unscrambled item)."""
+        u = self._rng.random()
+        uz = u * self._zeta_n
+        if uz < 1.0:
+            rank = 0
+        elif uz < 1.0 + 0.5**self._theta:
+            rank = 1
+        else:
+            rank = int(self._item_count * (self._eta * u - self._eta + 1) ** self._alpha)
+            rank = min(rank, self._item_count - 1)
+        if not self._scrambled:
+            return rank
+        return stable_uint64(f"zipf-{rank}") % self._item_count
+
+
+class HotspotGenerator:
+    """A fraction of requests targets a small hot set, the rest is uniform."""
+
+    def __init__(
+        self,
+        item_count: int,
+        hot_fraction: float = 0.2,
+        hot_probability: float = 0.8,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if item_count <= 0:
+            raise ValueError("item_count must be positive")
+        if not 0 < hot_fraction <= 1:
+            raise ValueError("hot_fraction must lie in (0, 1]")
+        if not 0 <= hot_probability <= 1:
+            raise ValueError("hot_probability must lie in [0, 1]")
+        self._item_count = item_count
+        self._hot_items = max(1, int(math.ceil(item_count * hot_fraction)))
+        self._hot_probability = hot_probability
+        self._rng = rng if rng is not None else random.Random(0)
+
+    @property
+    def item_count(self) -> int:
+        return self._item_count
+
+    def next_index(self) -> int:
+        if self._rng.random() < self._hot_probability:
+            return self._rng.randrange(self._hot_items)
+        return self._rng.randrange(self._item_count)

@@ -1,0 +1,191 @@
+"""Workload generator: sampling an operation stream from a workload spec.
+
+Requests are generated exactly as described in Section 6.1 of the paper: first
+an operation type is sampled from a discrete distribution, then the key or
+query (and the table) it targets is sampled from a Zipfian distribution.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.workloads.dataset import Dataset
+from repro.workloads.distributions import UniformGenerator, ZipfianGenerator
+from repro.workloads.operations import Operation, OperationType
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Proportions and skew of the generated operation stream.
+
+    The proportions must sum to 1.  The paper's read-heavy workload uses 49.5 %
+    reads, 49.5 % queries and 1 % (partial) updates.
+    """
+
+    read_proportion: float = 0.495
+    query_proportion: float = 0.495
+    update_proportion: float = 0.01
+    insert_proportion: float = 0.0
+    delete_proportion: float = 0.0
+    zipf_constant: float = 0.7
+    uniform: bool = False
+    seed: int = 11
+
+    def __post_init__(self) -> None:
+        total = (
+            self.read_proportion
+            + self.query_proportion
+            + self.update_proportion
+            + self.insert_proportion
+            + self.delete_proportion
+        )
+        if abs(total - 1.0) > 1e-9:
+            raise ConfigurationError(f"operation proportions must sum to 1, got {total}")
+        for name, value in (
+            ("read_proportion", self.read_proportion),
+            ("query_proportion", self.query_proportion),
+            ("update_proportion", self.update_proportion),
+            ("insert_proportion", self.insert_proportion),
+            ("delete_proportion", self.delete_proportion),
+        ):
+            if value < 0:
+                raise ConfigurationError(f"{name} must be non-negative")
+
+    @classmethod
+    def read_heavy(cls, zipf_constant: float = 0.7, seed: int = 11) -> "WorkloadSpec":
+        """The paper's read-heavy workload: 99 % reads+queries, 1 % writes."""
+        return cls(
+            read_proportion=0.495,
+            query_proportion=0.495,
+            update_proportion=0.01,
+            zipf_constant=zipf_constant,
+            seed=seed,
+        )
+
+    @classmethod
+    def with_update_rate(
+        cls, update_rate: float, zipf_constant: float = 0.7, seed: int = 11
+    ) -> "WorkloadSpec":
+        """Equal read/query shares with the given update rate (Figure 9 sweep)."""
+        if not 0 <= update_rate < 1:
+            raise ConfigurationError("update_rate must lie in [0, 1)")
+        remaining = 1.0 - update_rate
+        return cls(
+            read_proportion=remaining / 2,
+            query_proportion=remaining / 2,
+            update_proportion=update_rate,
+            zipf_constant=zipf_constant,
+            seed=seed,
+        )
+
+
+class WorkloadGenerator:
+    """Samples :class:`Operation` instances against a generated dataset."""
+
+    def __init__(self, spec: WorkloadSpec, dataset: Dataset) -> None:
+        self.spec = spec
+        self.dataset = dataset
+        self._rng = random.Random(spec.seed)
+        self._insert_counter = 0
+
+        document_ids = dataset.all_document_ids()
+        queries = dataset.all_queries()
+        if not document_ids or not queries:
+            raise ConfigurationError("dataset must contain documents and queries")
+        self._document_ids = document_ids
+        self._queries = queries
+
+        if spec.uniform:
+            self._document_picker = UniformGenerator(len(document_ids), random.Random(spec.seed + 1))
+            self._query_picker = UniformGenerator(len(queries), random.Random(spec.seed + 2))
+        else:
+            self._document_picker = ZipfianGenerator(
+                len(document_ids), spec.zipf_constant, random.Random(spec.seed + 1)
+            )
+            self._query_picker = ZipfianGenerator(
+                len(queries), spec.zipf_constant, random.Random(spec.seed + 2)
+            )
+
+        self._choices = [
+            (OperationType.READ, spec.read_proportion),
+            (OperationType.QUERY, spec.query_proportion),
+            (OperationType.UPDATE, spec.update_proportion),
+            (OperationType.INSERT, spec.insert_proportion),
+            (OperationType.DELETE, spec.delete_proportion),
+        ]
+
+    # -- sampling -------------------------------------------------------------------
+
+    def next_operation(self) -> Operation:
+        """Sample the next operation (type first, then target)."""
+        operation_type = self._sample_type()
+        if operation_type == OperationType.QUERY:
+            query = self._queries[self._query_picker.next_index()]
+            return Operation(type=OperationType.QUERY, collection=query.collection, query=query)
+
+        table, document_id = self._document_ids[self._document_picker.next_index()]
+        if operation_type == OperationType.READ:
+            return Operation(type=OperationType.READ, collection=table, document_id=document_id)
+        if operation_type == OperationType.UPDATE:
+            return Operation(
+                type=OperationType.UPDATE,
+                collection=table,
+                document_id=document_id,
+                payload=self._partial_update(),
+            )
+        if operation_type == OperationType.DELETE:
+            return Operation(type=OperationType.DELETE, collection=table, document_id=document_id)
+
+        # Insert: a brand-new document in the sampled table.
+        self._insert_counter += 1
+        new_id = f"{table}-new-{self._insert_counter:06d}"
+        document = {
+            "_id": new_id,
+            "title": f"New post {self._insert_counter}",
+            "category": self._rng.randrange(self.dataset.spec.categories_per_table),
+            "tags": ["example"],
+            "views": 0,
+            "author": f"user-{self._rng.randint(0, 499):03d}",
+            "body": "freshly inserted",
+        }
+        return Operation(
+            type=OperationType.INSERT, collection=table, document_id=new_id, payload=document
+        )
+
+    def stream(self, count: int) -> Iterator[Operation]:
+        """Yield ``count`` operations."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        for _ in range(count):
+            yield self.next_operation()
+
+    def operations(self, count: int) -> List[Operation]:
+        """Materialise ``count`` operations as a list."""
+        return list(self.stream(count))
+
+    # -- internals ---------------------------------------------------------------------
+
+    def _sample_type(self) -> OperationType:
+        draw = self._rng.random()
+        cumulative = 0.0
+        for operation_type, proportion in self._choices:
+            cumulative += proportion
+            if draw < cumulative:
+                return operation_type
+        return self._choices[0][0]
+
+    def _partial_update(self) -> Dict:
+        """A partial update touching the non-query fields most of the time.
+
+        A fraction of updates changes the ``category`` field so that query
+        result memberships actually change (triggering add/remove
+        notifications in InvaliDB) rather than only ``change`` events.
+        """
+        if self._rng.random() < 0.25:
+            return {
+                "$set": {"category": self._rng.randrange(self.dataset.spec.categories_per_table)}
+            }
+        return {"$inc": {"views": 1}}

@@ -1,0 +1,52 @@
+"""Workload operations: the unit of work a simulated client performs."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.db.documents import Document
+from repro.db.query import Query
+
+
+class OperationType(str, enum.Enum):
+    """Operation categories matching the paper's workload definition."""
+
+    READ = "read"
+    QUERY = "query"
+    INSERT = "insert"
+    UPDATE = "update"
+    DELETE = "delete"
+
+    @property
+    def is_write(self) -> bool:
+        return self in (OperationType.INSERT, OperationType.UPDATE, OperationType.DELETE)
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One operation to execute against the DBaaS.
+
+    Exactly one of ``document_id`` (for record operations) or ``query`` (for
+    query operations) is set; ``payload`` carries the document to insert or
+    the partial-update specification.
+    """
+
+    type: OperationType
+    collection: str
+    document_id: Optional[str] = None
+    query: Optional[Query] = None
+    payload: Optional[Document] = None
+
+    def __post_init__(self) -> None:
+        if self.type == OperationType.QUERY and self.query is None:
+            raise ValueError("query operations require a query")
+        if self.type != OperationType.QUERY and self.document_id is None:
+            raise ValueError(f"{self.type.value} operations require a document_id")
+        if self.type in (OperationType.INSERT, OperationType.UPDATE) and self.payload is None:
+            raise ValueError(f"{self.type.value} operations require a payload")
+
+    @property
+    def is_write(self) -> bool:
+        return self.type.is_write

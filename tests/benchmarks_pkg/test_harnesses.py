@@ -1,0 +1,97 @@
+"""Smoke tests for the benchmark harnesses (full runs live in ``benchmarks/``)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchmarks import BenchmarkScale, PAPER_SCALE, SMALL_SCALE
+from repro.benchmarks.figure1 import PageLoadModel, run_figure1
+from repro.benchmarks.figure12 import exercise_matching, run_figure12
+from repro.benchmarks.harness import ALL_MODES, run_mode
+from repro.simulation.simulator import CachingMode
+
+
+#: A deliberately tiny scale so harness smoke tests stay fast.
+TINY_SCALE = BenchmarkScale(
+    name="tiny",
+    num_tables=2,
+    documents_per_table=300,
+    queries_per_table=20,
+    connection_steps=[20, 40],
+    num_clients=4,
+    max_operations=1_500,
+    duration=60.0,
+    query_count_steps=[20, 40],
+    document_count_steps=[300, 600],
+    matching_nodes=2,
+)
+
+
+class TestScales:
+    def test_small_and_paper_scales_are_consistent(self):
+        for scale in (SMALL_SCALE, PAPER_SCALE):
+            assert scale.connection_steps == sorted(scale.connection_steps)
+            assert scale.dataset_spec().total_documents == (
+                scale.num_tables * scale.documents_per_table
+            )
+
+    def test_dataset_spec_overrides(self):
+        spec = SMALL_SCALE.dataset_spec(documents_per_table=10, queries_per_table=2, num_tables=1)
+        assert spec.total_documents == 10
+        assert spec.total_queries == 2
+
+    def test_paper_scale_matches_section_6_1(self):
+        assert PAPER_SCALE.num_tables == 10
+        assert PAPER_SCALE.documents_per_table == 10_000
+        assert PAPER_SCALE.queries_per_table == 100
+        assert PAPER_SCALE.connection_steps[-1] == 3000
+
+
+class TestRunMode:
+    def test_produces_result_for_every_mode(self):
+        for mode in ALL_MODES:
+            result = run_mode(TINY_SCALE, mode, connections=20, max_operations=600)
+            assert result.operations > 0
+            assert result.mode is mode
+
+    def test_quaestor_beats_uncached_even_at_tiny_scale(self):
+        quaestor = run_mode(TINY_SCALE, CachingMode.QUAESTOR, connections=40, max_operations=1_200)
+        uncached = run_mode(TINY_SCALE, CachingMode.UNCACHED, connections=40, max_operations=1_200)
+        assert quaestor.throughput > uncached.throughput
+
+
+class TestFigure1Harness:
+    def test_report_covers_all_regions_and_providers(self):
+        report = run_figure1()
+        assert len(report.rows) == 4 * 5
+        assert {row["provider"] for row in report.rows} == {
+            "Baqend", "Kinvey", "Firebase", "Azure", "Parse",
+        }
+
+    def test_cdn_backed_provider_is_fastest_everywhere(self):
+        report = run_figure1()
+        for region in {row["region"] for row in report.rows}:
+            rows = [row for row in report.rows if row["region"] == region]
+            fastest = min(rows, key=lambda row: row["first_load_seconds"])
+            assert fastest["provider"] == "Baqend"
+
+    def test_origin_load_grows_with_distance(self):
+        model = PageLoadModel()
+        assert model.origin_backed_load(0.3) > model.origin_backed_load(0.03)
+        assert model.cdn_backed_load(0.3) < model.origin_backed_load(0.3)
+
+
+class TestFigure12Harness:
+    def test_micro_exercise_produces_notifications(self):
+        outcome = exercise_matching(matching_nodes=2, queries_per_node=10, events=200)
+        assert outcome["notifications"] > 0
+        assert outcome["total_match_operations"] > 0
+        assert outcome["active_queries"] == 20
+
+    def test_report_scales_linearly(self):
+        report = run_figure12(node_counts=[1, 2], queries_per_node_micro=5, micro_events=100)
+        by_nodes = {}
+        for row in report.rows:
+            by_nodes.setdefault(row["matching_nodes"], []).append(row["sustainable_throughput_ops"])
+        for bound_index in range(3):
+            assert by_nodes[2][bound_index] == pytest.approx(2 * by_nodes[1][bound_index])

@@ -1,0 +1,135 @@
+"""Tests for the key-value-store-backed (distributed) Expiring Bloom Filter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bloom import ExpiringBloomFilter, KVBackedExpiringBloomFilter
+from repro.clock import VirtualClock
+from repro.kvstore import KeyValueStore
+
+
+@pytest.fixture
+def clock() -> VirtualClock:
+    return VirtualClock()
+
+
+@pytest.fixture
+def store(clock: VirtualClock) -> KeyValueStore:
+    return KeyValueStore(clock=clock)
+
+
+@pytest.fixture
+def backed(store: KeyValueStore) -> KVBackedExpiringBloomFilter:
+    return KVBackedExpiringBloomFilter(store, num_bits=2048, num_hashes=4)
+
+
+class TestBasicBehaviour:
+    def test_invalidation_within_ttl_marks_stale(self, backed, clock):
+        backed.report_read("query:q1", ttl=10.0)
+        clock.advance(1.0)
+        assert backed.report_invalidation("query:q1") is True
+        assert backed.contains("query:q1")
+        assert backed.is_stale("query:q1")
+
+    def test_invalidation_after_expiry_ignored(self, backed, clock):
+        backed.report_read("query:q1", ttl=2.0)
+        clock.advance(3.0)
+        assert backed.report_invalidation("query:q1") is False
+        assert not backed.contains("query:q1")
+
+    def test_expiry_removes_entries(self, backed, clock):
+        backed.report_read("k", ttl=5.0)
+        backed.report_invalidation("k")
+        clock.advance(6.0)
+        assert backed.expire() >= 1
+        assert len(backed) == 0
+
+    def test_flat_snapshot(self, backed):
+        backed.report_read("stale", ttl=50.0)
+        backed.report_read("fresh", ttl=50.0)
+        backed.report_invalidation("stale")
+        flat = backed.to_flat()
+        assert flat.contains("stale")
+        assert not flat.contains("fresh")
+
+    def test_statistics(self, backed):
+        backed.report_read("a", ttl=10.0)
+        backed.report_invalidation("a")
+        stats = backed.statistics()
+        assert stats.stale_keys == 1
+        assert stats.tracked_keys == 1
+
+    def test_invalid_geometry(self, store):
+        with pytest.raises(ValueError):
+            KVBackedExpiringBloomFilter(store, num_bits=0)
+        with pytest.raises(ValueError):
+            KVBackedExpiringBloomFilter(store, num_hashes=0)
+
+
+class TestSharedState:
+    def test_two_frontends_share_state_through_the_store(self, store, clock):
+        """Multiple DBaaS servers share one EBF via the key-value store."""
+        server_a = KVBackedExpiringBloomFilter(store, num_bits=1024, num_hashes=4)
+        server_b = KVBackedExpiringBloomFilter(store, num_bits=1024, num_hashes=4)
+        server_a.report_read("query:shared", ttl=30.0)
+        server_b.report_invalidation("query:shared")
+        assert server_a.contains("query:shared")
+        assert server_b.contains("query:shared")
+
+    def test_namespaces_isolate_tables(self, store):
+        """Per-table partitioning: each table gets its own EBF namespace."""
+        posts_ebf = KVBackedExpiringBloomFilter(store, num_bits=1024, namespace="posts")
+        users_ebf = KVBackedExpiringBloomFilter(store, num_bits=1024, namespace="users")
+        posts_ebf.report_read("query:q", ttl=30.0)
+        posts_ebf.report_invalidation("query:q")
+        assert posts_ebf.contains("query:q")
+        assert not users_ebf.contains("query:q")
+
+    def test_partition_union_aggregates_tables(self, store):
+        """The aggregated client filter is the union of per-table partitions."""
+        posts_ebf = KVBackedExpiringBloomFilter(store, num_bits=1024, namespace="posts")
+        users_ebf = KVBackedExpiringBloomFilter(store, num_bits=1024, namespace="users")
+        posts_ebf.report_read("query:p", ttl=30.0)
+        posts_ebf.report_invalidation("query:p")
+        users_ebf.report_read("query:u", ttl=30.0)
+        users_ebf.report_invalidation("query:u")
+        union = posts_ebf.to_flat() | users_ebf.to_flat()
+        assert union.contains("query:p")
+        assert union.contains("query:u")
+
+
+class TestEquivalenceWithInMemory:
+    def test_same_scenario_same_answers(self, store, clock):
+        """The distributed variant behaves exactly like the in-memory EBF."""
+        in_memory = ExpiringBloomFilter(num_bits=1024, num_hashes=4, clock=clock)
+        distributed = KVBackedExpiringBloomFilter(store, num_bits=1024, num_hashes=4)
+        scenario = [
+            ("read", "q1", 10.0),
+            ("read", "q2", 5.0),
+            ("invalidate", "q1", None),
+            ("advance", None, 3.0),
+            ("invalidate", "q2", None),
+            ("advance", None, 3.0),
+            ("read", "q3", 2.0),
+            ("invalidate", "q3", None),
+            ("advance", None, 20.0),
+        ]
+        for action, key, value in scenario:
+            if action == "read":
+                in_memory.report_read(key, value)
+                distributed.report_read(key, value)
+            elif action == "invalidate":
+                in_memory.report_invalidation(key)
+                distributed.report_invalidation(key)
+            else:
+                clock.advance(value)
+        for key in ("q1", "q2", "q3"):
+            assert in_memory.contains(key) == distributed.contains(key)
+
+    def test_operation_counter_tracks_store_load(self, store, backed):
+        """Every EBF operation is expressed as store commands (load accounting)."""
+        before = store.operations
+        backed.report_read("key", ttl=10.0)
+        backed.report_invalidation("key")
+        assert store.operations > before

@@ -1,0 +1,110 @@
+"""Tests for the per-table partitioned Expiring Bloom Filter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bloom import PartitionedExpiringBloomFilter
+from repro.bloom.partitioned import default_router
+from repro.clock import VirtualClock
+from repro.db.query import Query, record_key
+
+
+@pytest.fixture
+def clock() -> VirtualClock:
+    return VirtualClock()
+
+
+@pytest.fixture
+def partitioned(clock) -> PartitionedExpiringBloomFilter:
+    return PartitionedExpiringBloomFilter(num_bits=2048, num_hashes=4, clock=clock)
+
+
+class TestRouting:
+    def test_record_keys_route_to_their_table(self):
+        assert default_router(record_key("posts", "p1")) == "posts"
+        assert default_router(record_key("users", "u1")) == "users"
+
+    def test_query_keys_route_to_their_collection(self):
+        query = Query("articles", {"tags": "example"})
+        assert default_router(query.cache_key) == "articles"
+
+    def test_unknown_keys_route_to_default_partition(self):
+        assert default_router("something-else") == "__default__"
+
+    def test_partitions_created_lazily(self, partitioned):
+        assert partitioned.partition_names() == []
+        partitioned.report_read(record_key("posts", "p1"), ttl=10.0)
+        partitioned.report_read(record_key("users", "u1"), ttl=10.0)
+        assert partitioned.partition_names() == ["posts", "users"]
+
+
+class TestSingleFilterInterface:
+    def test_behaves_like_one_ebf(self, partitioned, clock):
+        key = record_key("posts", "p1")
+        partitioned.report_read(key, ttl=10.0)
+        assert partitioned.report_invalidation(key) is True
+        assert partitioned.contains(key)
+        assert partitioned.is_stale(key)
+        clock.advance(11.0)
+        assert not partitioned.contains(key)
+        assert len(partitioned) == 0
+
+    def test_len_sums_partitions(self, partitioned):
+        for table in ("a", "b", "c"):
+            key = record_key(table, "x")
+            partitioned.report_read(key, ttl=50.0)
+            partitioned.report_invalidation(key)
+        assert len(partitioned) == 3
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            PartitionedExpiringBloomFilter(num_bits=0)
+
+
+class TestAggregation:
+    def test_aggregate_filter_is_union_of_partitions(self, partitioned):
+        posts_key = record_key("posts", "p1")
+        users_key = record_key("users", "u1")
+        for key in (posts_key, users_key):
+            partitioned.report_read(key, ttl=50.0)
+            partitioned.report_invalidation(key)
+        aggregate = partitioned.to_flat()
+        assert aggregate.contains(posts_key)
+        assert aggregate.contains(users_key)
+
+    def test_per_table_filters_are_isolated(self, partitioned):
+        posts_key = record_key("posts", "p1")
+        partitioned.report_read(posts_key, ttl=50.0)
+        partitioned.report_invalidation(posts_key)
+        assert partitioned.to_flat_partition("posts").contains(posts_key)
+        assert not partitioned.to_flat_partition("users").contains(posts_key)
+
+    def test_statistics_aggregate(self, partitioned):
+        for table in ("posts", "users"):
+            key = record_key(table, "x")
+            partitioned.report_read(key, ttl=50.0)
+            partitioned.report_invalidation(key)
+        stats = partitioned.statistics()
+        assert stats.stale_keys == 2
+        assert stats.tracked_keys == 2
+        assert stats.reads_reported == 2
+
+    def test_drop_in_replacement_for_server(self, clock):
+        """The Quaestor server accepts the partitioned EBF unchanged."""
+        from repro.core import QuaestorConfig, QuaestorServer
+        from repro.db import Database, Query
+        from repro.invalidb import InvaliDBCluster
+
+        database = Database(clock=clock)
+        posts = database.create_collection("posts")
+        posts.insert({"_id": "p1", "tags": ["example"]})
+        partitioned = PartitionedExpiringBloomFilter(num_bits=2048, num_hashes=4, clock=clock)
+        server = QuaestorServer(
+            database, config=QuaestorConfig(), invalidb=InvaliDBCluster(), ebf=partitioned
+        )
+        query = Query("posts", {"tags": "example"})
+        server.handle_query(query)
+        server.handle_update("posts", "p1", {"$set": {"tags": ["other"]}})
+        assert server.get_bloom_filter().contains(query.cache_key)
+        assert partitioned.partition("posts") is not None

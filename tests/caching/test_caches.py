@@ -1,0 +1,145 @@
+"""Tests for cache entries, expiration-based and invalidation-based caches."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.caching import CacheEntry, ExpirationCache, InvalidationCache
+from repro.clock import VirtualClock
+from repro.rest import Response
+
+
+@pytest.fixture
+def clock() -> VirtualClock:
+    return VirtualClock()
+
+
+class TestCacheEntry:
+    def test_freshness_window(self):
+        entry = CacheEntry(key="k", body=1, etag=None, stored_at=10.0, ttl=5.0)
+        assert entry.fresh_until == 15.0
+        assert entry.is_fresh(14.9)
+        assert not entry.is_fresh(15.0)
+
+    def test_age_and_remaining_ttl(self):
+        entry = CacheEntry(key="k", body=1, etag=None, stored_at=10.0, ttl=5.0)
+        assert entry.age(12.0) == 2.0
+        assert entry.remaining_ttl(12.0) == 3.0
+        assert entry.remaining_ttl(20.0) == 0.0
+
+    def test_refreshed_restamps(self):
+        entry = CacheEntry(key="k", body=1, etag='"e"', stored_at=0.0, ttl=5.0)
+        refreshed = entry.refreshed(now=10.0)
+        assert refreshed.stored_at == 10.0
+        assert refreshed.is_fresh(12.0)
+        assert refreshed.etag == '"e"'
+
+    def test_negative_ttl_rejected(self):
+        with pytest.raises(ValueError):
+            CacheEntry(key="k", body=1, etag=None, stored_at=0.0, ttl=-1.0)
+
+
+class TestExpirationCache:
+    def test_serves_fresh_entries(self, clock):
+        cache = ExpirationCache("browser", clock)
+        cache.store("key", Response.ok("body", ttl=10.0))
+        entry = cache.lookup("key")
+        assert entry is not None and entry.body == "body"
+        assert cache.stats.hits == 1
+
+    def test_expired_entries_are_misses(self, clock):
+        cache = ExpirationCache("browser", clock)
+        cache.store("key", Response.ok("body", ttl=5.0))
+        clock.advance(6.0)
+        assert cache.lookup("key") is None
+        assert cache.stats.stale_hits == 1
+
+    def test_uncacheable_responses_are_not_stored(self, clock):
+        cache = ExpirationCache("browser", clock)
+        assert cache.store("key", Response.uncacheable("body")) is None
+        assert "key" not in cache
+
+    def test_private_cache_uses_max_age_not_smaxage(self, clock):
+        cache = ExpirationCache("browser", clock, shared=False)
+        cache.store("key", Response.ok("body", ttl=2.0, shared_ttl=100.0))
+        clock.advance(3.0)
+        assert cache.lookup("key") is None
+
+    def test_shared_cache_uses_smaxage(self, clock):
+        cache = ExpirationCache("isp-proxy", clock, shared=True)
+        cache.store("key", Response.ok("body", ttl=2.0, shared_ttl=100.0))
+        clock.advance(3.0)
+        assert cache.lookup("key") is not None
+
+    def test_no_purge_support(self, clock):
+        assert ExpirationCache("browser", clock).supports_purge is False
+
+    def test_lru_eviction(self, clock):
+        cache = ExpirationCache("browser", clock, max_entries=2)
+        cache.store("a", Response.ok(1, ttl=100))
+        cache.store("b", Response.ok(2, ttl=100))
+        cache.lookup("a")  # a becomes most recently used
+        cache.store("c", Response.ok(3, ttl=100))
+        assert "a" in cache
+        assert "b" not in cache
+        assert cache.stats.evictions == 1
+
+    def test_refresh_restamps_entry(self, clock):
+        cache = ExpirationCache("browser", clock)
+        cache.store("key", Response.ok("body", ttl=5.0))
+        clock.advance(6.0)
+        assert cache.lookup("key") is None
+        cache.refresh("key")
+        assert cache.lookup("key") is not None
+        assert cache.stats.revalidations == 1
+
+    def test_expire_now_evicts_stale(self, clock):
+        cache = ExpirationCache("browser", clock)
+        cache.store("a", Response.ok(1, ttl=1.0))
+        cache.store("b", Response.ok(2, ttl=100.0))
+        clock.advance(2.0)
+        assert cache.expire_now() == 1
+        assert len(cache) == 1
+
+    def test_peek_does_not_count(self, clock):
+        cache = ExpirationCache("browser", clock)
+        cache.store("key", Response.ok(1, ttl=1.0))
+        clock.advance(5.0)
+        assert cache.peek("key") is not None
+        assert cache.stats.misses == 0
+
+
+class TestInvalidationCache:
+    def test_purge_removes_entry(self, clock):
+        cdn = InvalidationCache("cdn", clock)
+        cdn.store("key", Response.ok("body", ttl=100.0))
+        assert cdn.purge("key") is True
+        assert cdn.lookup("key") is None
+        assert cdn.stats.purges == 1
+
+    def test_purge_missing_key(self, clock):
+        cdn = InvalidationCache("cdn", clock)
+        assert cdn.purge("missing") is False
+
+    def test_purge_many(self, clock):
+        cdn = InvalidationCache("cdn", clock)
+        cdn.store("a", Response.ok(1, ttl=100.0))
+        cdn.store("b", Response.ok(2, ttl=100.0))
+        assert cdn.purge_many(["a", "b", "c"]) == 2
+
+    def test_is_shared_cache(self, clock):
+        cdn = InvalidationCache("cdn", clock)
+        cdn.store("key", Response.ok("body", ttl=1.0, shared_ttl=50.0))
+        clock.advance(10.0)
+        assert cdn.lookup("key") is not None
+        assert cdn.supports_purge is True
+
+    def test_statistics_dictionary(self, clock):
+        cdn = InvalidationCache("cdn", clock)
+        cdn.store("key", Response.ok("body", ttl=10.0))
+        cdn.lookup("key")
+        cdn.lookup("missing")
+        stats = cdn.stats.as_dict()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["hit_rate"] == 0.5

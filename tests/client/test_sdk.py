@@ -1,0 +1,189 @@
+"""Tests for the client SDK: cached loads, revalidations, consistency levels."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.caching import InvalidationCache
+from repro.client import QuaestorClient
+from repro.core import ConsistencyLevel, QuaestorConfig, QuaestorServer
+from repro.db import Query
+from repro.invalidb import InvaliDBCluster
+
+
+@pytest.fixture
+def server(database, posts):
+    return QuaestorServer(
+        database, config=QuaestorConfig(), invalidb=InvaliDBCluster(matching_nodes=2)
+    )
+
+
+@pytest.fixture
+def cdn(server, clock):
+    cache = InvalidationCache("cdn", clock)
+    server.register_purge_target(cache)
+    return cache
+
+
+@pytest.fixture
+def client(server, cdn, clock):
+    sdk = QuaestorClient(server, cdn=cdn, clock=clock, refresh_interval=10.0)
+    sdk.connect()
+    return sdk
+
+
+class TestCachedLoads:
+    def test_first_query_hits_origin_then_client_cache(self, client, example_query):
+        assert client.query(example_query).level == "origin"
+        assert client.query(example_query).level == "client"
+
+    def test_query_results_cache_member_records(self, client, example_query):
+        client.query(example_query)
+        record = client.read("posts", "p0")
+        assert record.level == "client"
+        assert record.value["_id"] == "p0"
+
+    def test_reads_cache_individually(self, client):
+        assert client.read("posts", "p1").level == "origin"
+        assert client.read("posts", "p1").level == "client"
+
+    def test_second_client_benefits_from_cdn(self, server, cdn, clock, example_query):
+        first = QuaestorClient(server, cdn=cdn, clock=clock, name="first")
+        second = QuaestorClient(server, cdn=cdn, clock=clock, name="second")
+        first.connect()
+        second.connect()
+        first.query(example_query)
+        assert second.query(example_query).level == "cdn"
+
+    def test_client_without_caches_always_hits_origin(self, server, clock, example_query):
+        uncached = QuaestorClient(
+            server, cdn=None, clock=clock, use_client_cache=False, use_ebf=False
+        )
+        assert uncached.query(example_query).level == "origin"
+        assert uncached.query(example_query).level == "origin"
+
+    def test_missing_record_returns_none(self, client):
+        result = client.read("posts", "does-not-exist")
+        assert result.value is None
+
+
+class TestEbfDrivenRevalidation:
+    def test_stale_query_revalidated_after_refresh(self, client, example_query, clock):
+        client.query(example_query)
+        # Another client's write changes the result set.
+        client.server.handle_update("posts", "p1", {"$set": {"tags": ["example"]}})
+        clock.advance(11.0)  # past the refresh interval
+        result = client.query(example_query)
+        assert result.level in ("origin", "cdn")
+        assert len(result.value) == 11
+
+    def test_within_delta_stale_cache_hit_is_allowed(self, client, example_query, clock):
+        client.query(example_query)
+        client.server.handle_update("posts", "p1", {"$set": {"tags": ["example"]}})
+        clock.advance(1.0)  # still within Delta
+        result = client.query(example_query)
+        assert result.level == "client"
+        assert len(result.value) == 10  # bounded staleness
+
+    def test_whitelist_prevents_repeated_revalidations(self, client, example_query, clock):
+        client.query(example_query)
+        client.server.handle_update("posts", "p0", {"$set": {"tags": ["other"]}})
+        clock.advance(11.0)
+        first = client.query(example_query)   # revalidation (EBF refresh due)
+        second = client.query(example_query)  # whitelisted -> client cache
+        assert first.level in ("origin", "cdn")
+        assert second.level == "client"
+
+    def test_ebf_refresh_counter(self, client, example_query, clock):
+        client.query(example_query)
+        clock.advance(11.0)
+        client.query(example_query)
+        assert client.counters.get("ebf_refreshes") >= 2  # connect + refresh
+
+
+class TestSessionGuarantees:
+    def test_read_your_writes(self, client):
+        client.update("posts", "p0", {"$set": {"views": 123}})
+        result = client.read("posts", "p0")
+        assert result.value["views"] == 123
+
+    def test_monotonic_reads_never_regress(self, client, cdn, clock):
+        # Client observes version 2 via a direct read after a write.
+        client.update("posts", "p2", {"$inc": {"views": 1}})
+        first = client.read("posts", "p2")
+        assert first.version == 2
+        # Another client's stale CDN copy of version 1 exists; force it into
+        # the CDN to simulate an out-of-date edge node.
+        from repro.db.query import record_key
+        from repro.rest.messages import Response
+
+        stale_body = {"document": {"_id": "p2", "views": 0}, "version": 1}
+        cdn.store(record_key("posts", "p2"), Response.ok(stale_body, ttl=100.0, etag='"old"'))
+        client.client_cache.remove(record_key("posts", "p2"))
+        result = client.read("posts", "p2")
+        assert result.version >= 2  # session fallback, no regression
+
+    def test_own_update_invalidates_client_cache_copy(self, client):
+        client.read("posts", "p3")
+        client.update("posts", "p3", {"$inc": {"views": 5}})
+        result = client.read("posts", "p3")
+        # p3 starts with views=3 (fixture); the session must observe 3 + 5.
+        assert result.value["views"] == 8
+
+    def test_insert_and_delete_through_sdk(self, client, database):
+        client.insert("posts", {"_id": "new-post", "tags": ["example"], "views": 0})
+        assert database.get("posts", "new-post")["views"] == 0
+        client.delete("posts", "new-post")
+        assert database.collection("posts").get_or_none("new-post") is None
+
+
+class TestConsistencyLevels:
+    def test_strong_consistency_bypasses_caches(self, client, example_query):
+        client.query(example_query)
+        result = client.query(example_query, consistency=ConsistencyLevel.STRONG)
+        assert result.level == "origin"
+
+    def test_strong_read_sees_latest_write_immediately(self, client, example_query):
+        client.query(example_query)
+        client.server.handle_update("posts", "p1", {"$set": {"tags": ["example"]}})
+        stale = client.query(example_query)
+        fresh = client.query(example_query, consistency=ConsistencyLevel.STRONG)
+        assert len(stale.value) == 10
+        assert len(fresh.value) == 11
+
+    def test_causal_session_revalidates_after_newer_read(self, server, cdn, clock):
+        causal = QuaestorClient(
+            server, cdn=cdn, clock=clock, refresh_interval=60.0,
+            consistency=ConsistencyLevel.CAUSAL, name="causal",
+        )
+        causal.connect()
+        causal.read("posts", "p0")          # origin read (newer than the EBF)
+        second = causal.read("posts", "p0")  # must revalidate, not client-cache
+        assert second.level != "client"
+
+    def test_default_client_serves_from_cache(self, client):
+        client.read("posts", "p0")
+        assert client.read("posts", "p0").level == "client"
+
+
+class TestIdListAssembly:
+    def test_id_list_queries_fetch_records_individually(self, database, posts, clock):
+        config = QuaestorConfig(object_list_max_size=0)  # force id-lists
+        server = QuaestorServer(database, config=config)
+        cdn = InvalidationCache("cdn", clock)
+        server.register_purge_target(cdn)
+        sdk = QuaestorClient(server, cdn=cdn, clock=clock)
+        sdk.connect()
+        query = Query("posts", {"tags": "example"})
+        result = sdk.query(query)
+        assert len(result.value) == 10
+        assert len(result.extra_levels) == 10
+        # Records fetched during assembly are now cached individually.
+        assert sdk.read("posts", "p0").level == "client"
+
+    def test_cache_statistics_exposed(self, client, example_query):
+        client.query(example_query)
+        client.query(example_query)
+        stats = client.cache_statistics()
+        assert stats["queries"] == 2
+        assert stats["client_cache"]["hits"] >= 1

@@ -1,0 +1,91 @@
+"""Tests for the client-side session state, whitelist and freshness policy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.client import ClientSession, DifferentialWhitelist, FreshnessPolicy
+
+
+class TestDifferentialWhitelist:
+    def test_added_keys_are_fresh(self):
+        whitelist = DifferentialWhitelist()
+        whitelist.add("query:q")
+        assert "query:q" in whitelist
+        assert whitelist.contains("query:q")
+
+    def test_reset_clears_everything(self):
+        whitelist = DifferentialWhitelist()
+        whitelist.add("a")
+        whitelist.add("b")
+        whitelist.reset()
+        assert len(whitelist) == 0
+        assert "a" not in whitelist
+        assert whitelist.resets == 1
+
+    def test_counters(self):
+        whitelist = DifferentialWhitelist()
+        whitelist.add("a")
+        whitelist.add("a")
+        assert whitelist.additions == 2
+        assert len(whitelist) == 1
+
+
+class TestClientSession:
+    def test_observe_read_tracks_highest_version(self):
+        session = ClientSession()
+        session.observe_read("record:posts/p1", 1, {"_id": "p1", "v": 1})
+        session.observe_read("record:posts/p1", 3, {"_id": "p1", "v": 3})
+        session.observe_read("record:posts/p1", 2, {"_id": "p1", "v": 2})
+        assert session.highest_seen_version("record:posts/p1") == 3
+
+    def test_newer_than_seen(self):
+        session = ClientSession()
+        assert session.newer_than_seen("key", 1)
+        session.observe_read("key", 5, None)
+        assert session.newer_than_seen("key", 5)
+        assert not session.newer_than_seen("key", 4)
+
+    def test_monotonic_fallback_returns_newest_copy(self):
+        session = ClientSession()
+        session.observe_read("key", 2, {"_id": "x", "value": "new"})
+        fallback = session.monotonic_fallback("key")
+        assert fallback == (2, {"_id": "x", "value": "new"})
+        assert session.monotonic_violations_prevented == 1
+
+    def test_monotonic_fallback_unknown_key(self):
+        assert ClientSession().monotonic_fallback("unknown") is None
+
+    def test_own_writes_recorded(self):
+        session = ClientSession()
+        session.record_own_write("key", 4, {"_id": "x"})
+        assert session.own_write("key") == (4, {"_id": "x"})
+        assert session.highest_seen_version("key") == 4
+
+    def test_own_write_copies_document(self):
+        session = ClientSession()
+        document = {"_id": "x", "tags": ["a"]}
+        session.record_own_write("key", 1, document)
+        document["tags"].append("b")
+        assert session.own_write("key")[1]["tags"] == ["a"]
+
+
+class TestFreshnessPolicy:
+    def test_needs_refresh_initially(self):
+        policy = FreshnessPolicy(refresh_interval=10.0)
+        assert policy.needs_refresh(0.0)
+        assert policy.age(0.0) == float("inf")
+
+    def test_refresh_cycle(self):
+        policy = FreshnessPolicy(refresh_interval=10.0)
+        policy.mark_refreshed(100.0)
+        assert not policy.needs_refresh(105.0)
+        assert policy.needs_refresh(110.0)
+        assert policy.age(105.0) == 5.0
+
+    def test_delta_equals_refresh_interval(self):
+        assert FreshnessPolicy(refresh_interval=7.5).delta == 7.5
+
+    def test_interval_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FreshnessPolicy(refresh_interval=0.0)

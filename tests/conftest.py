@@ -1,0 +1,65 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.caching import InvalidationCache
+from repro.clock import VirtualClock
+from repro.client import QuaestorClient
+from repro.core import QuaestorConfig, QuaestorServer
+from repro.db import Database, Query
+from repro.invalidb import InvaliDBCluster
+
+
+@pytest.fixture
+def clock() -> VirtualClock:
+    """A fresh virtual clock starting at zero."""
+    return VirtualClock()
+
+
+@pytest.fixture
+def database(clock: VirtualClock) -> Database:
+    """An empty document database bound to the virtual clock."""
+    return Database(clock=clock)
+
+
+@pytest.fixture
+def posts(database: Database):
+    """A ``posts`` collection pre-populated with tagged blog posts.
+
+    Even-numbered posts carry the ``example`` tag (the paper's running
+    example); odd-numbered posts carry ``other``.
+    """
+    collection = database.create_collection("posts")
+    collection.create_index("tags")
+    for index in range(20):
+        collection.insert(
+            {
+                "_id": f"p{index}",
+                "title": f"Post {index}",
+                "tags": ["example"] if index % 2 == 0 else ["other"],
+                "views": index,
+                "author": {"name": f"user{index % 3}", "karma": index * 10},
+            }
+        )
+    return collection
+
+
+@pytest.fixture
+def example_query() -> Query:
+    """The paper's running example query: posts tagged 'example'."""
+    return Query("posts", {"tags": "example"})
+
+
+@pytest.fixture
+def deployment(clock: VirtualClock, database: Database, posts):
+    """A full single-node deployment: server, CDN and one connected client."""
+    server = QuaestorServer(
+        database, config=QuaestorConfig(), invalidb=InvaliDBCluster(matching_nodes=4)
+    )
+    cdn = InvalidationCache("cdn", clock)
+    server.register_purge_target(cdn)
+    client = QuaestorClient(server, cdn=cdn, clock=clock, refresh_interval=10.0)
+    client.connect()
+    return {"clock": clock, "database": database, "server": server, "cdn": cdn, "client": client}

@@ -1,0 +1,167 @@
+"""Tests for collections: CRUD, after-images, query execution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db import Database, OperationType, Query
+from repro.errors import DocumentNotFoundError, DuplicateKeyError, InvalidQueryError
+from repro.db.collection import Collection
+
+
+class TestCrud:
+    def test_insert_and_get(self, database):
+        posts = database.create_collection("posts")
+        posts.insert({"_id": "p1", "title": "Hello"})
+        assert posts.get("p1")["title"] == "Hello"
+        assert len(posts) == 1
+
+    def test_insert_requires_id(self, database):
+        posts = database.create_collection("posts")
+        with pytest.raises(InvalidQueryError):
+            posts.insert({"title": "no id"})
+
+    def test_duplicate_insert_rejected(self, database):
+        posts = database.create_collection("posts")
+        posts.insert({"_id": "p1"})
+        with pytest.raises(DuplicateKeyError):
+            posts.insert({"_id": "p1"})
+
+    def test_get_missing_raises(self, database):
+        posts = database.create_collection("posts")
+        with pytest.raises(DocumentNotFoundError):
+            posts.get("nope")
+        assert posts.get_or_none("nope") is None
+
+    def test_returned_documents_are_copies(self, database):
+        posts = database.create_collection("posts")
+        posts.insert({"_id": "p1", "tags": ["a"]})
+        fetched = posts.get("p1")
+        fetched["tags"].append("b")
+        assert posts.get("p1")["tags"] == ["a"]
+
+    def test_update_partial(self, database):
+        posts = database.create_collection("posts")
+        posts.insert({"_id": "p1", "views": 1, "title": "Hello"})
+        updated = posts.update("p1", {"$inc": {"views": 1}})
+        assert updated["views"] == 2
+        assert updated["title"] == "Hello"
+
+    def test_update_missing_raises(self, database):
+        posts = database.create_collection("posts")
+        with pytest.raises(DocumentNotFoundError):
+            posts.update("nope", {"$set": {"a": 1}})
+
+    def test_replace_keeps_id(self, database):
+        posts = database.create_collection("posts")
+        posts.insert({"_id": "p1", "title": "Old", "views": 3})
+        replaced = posts.replace("p1", {"title": "New"})
+        assert replaced == {"_id": "p1", "title": "New"}
+
+    def test_delete(self, database):
+        posts = database.create_collection("posts")
+        posts.insert({"_id": "p1"})
+        deleted = posts.delete("p1")
+        assert deleted["_id"] == "p1"
+        assert "p1" not in posts
+        with pytest.raises(DocumentNotFoundError):
+            posts.delete("p1")
+
+    def test_version_counter_increments(self, database):
+        posts = database.create_collection("posts")
+        posts.insert({"_id": "p1", "views": 0})
+        assert posts.version("p1") == 1
+        posts.update("p1", {"$inc": {"views": 1}})
+        posts.update("p1", {"$inc": {"views": 1}})
+        assert posts.version("p1") == 3
+
+
+class TestChangeEvents:
+    def test_insert_emits_after_image(self, database):
+        events = []
+        database.subscribe(events.append)
+        posts = database.create_collection("posts")
+        posts.insert({"_id": "p1", "views": 1})
+        assert len(events) == 1
+        event = events[0]
+        assert event.operation == OperationType.INSERT
+        assert event.before is None
+        assert event.after == {"_id": "p1", "views": 1}
+
+    def test_update_carries_before_and_after(self, database):
+        events = []
+        posts = database.create_collection("posts")
+        posts.insert({"_id": "p1", "views": 1})
+        database.subscribe(events.append)
+        posts.update("p1", {"$inc": {"views": 4}})
+        event = events[0]
+        assert event.operation == OperationType.UPDATE
+        assert event.before["views"] == 1
+        assert event.after["views"] == 5
+
+    def test_delete_has_no_after_image(self, database):
+        events = []
+        posts = database.create_collection("posts")
+        posts.insert({"_id": "p1"})
+        database.subscribe(events.append)
+        posts.delete("p1")
+        assert events[0].operation == OperationType.DELETE
+        assert events[0].after is None
+
+    def test_events_have_increasing_sequence(self, database):
+        events = []
+        database.subscribe(events.append)
+        posts = database.create_collection("posts")
+        for index in range(5):
+            posts.insert({"_id": f"p{index}"})
+        sequences = [event.sequence for event in events]
+        assert sequences == sorted(sequences)
+        assert len(set(sequences)) == 5
+
+    def test_after_images_are_immutable_snapshots(self, database):
+        events = []
+        database.subscribe(events.append)
+        posts = database.create_collection("posts")
+        posts.insert({"_id": "p1", "tags": ["a"]})
+        posts.update("p1", {"$push": {"tags": "b"}})
+        assert events[0].after["tags"] == ["a"]
+
+
+class TestFind:
+    def test_find_with_predicate(self, posts):
+        result = posts.find(Query("posts", {"tags": "example"}))
+        assert len(result) == 10
+        assert all("example" in doc["tags"] for doc in result)
+
+    def test_find_wrong_collection_rejected(self, posts):
+        with pytest.raises(InvalidQueryError):
+            posts.find(Query("users", {}))
+
+    def test_find_sort_limit_offset(self, posts):
+        query = Query("posts", {"tags": "example"}, sort=[("views", -1)], limit=3, offset=1)
+        result = posts.find(query)
+        views = [doc["views"] for doc in result]
+        assert views == [16, 14, 12]
+
+    def test_find_without_sort_is_deterministic(self, posts):
+        query = Query("posts", {"tags": "example"})
+        assert posts.find(query) == posts.find(query)
+
+    def test_find_uses_index_when_available(self, database):
+        collection = database.create_collection("items")
+        collection.create_index("category")
+        for index in range(100):
+            collection.insert({"_id": f"i{index}", "category": index % 10})
+        result = collection.find(Query("items", {"category": 3}))
+        assert len(result) == 10
+        assert all(doc["category"] == 3 for doc in result)
+
+    def test_count(self, posts):
+        assert posts.count() == 20
+        assert posts.count(Query("posts", {"tags": "example"})) == 10
+
+    def test_ids_sorted(self, database):
+        collection = database.create_collection("c")
+        collection.insert({"_id": "b"})
+        collection.insert({"_id": "a"})
+        assert collection.ids() == ["a", "b"]

@@ -1,0 +1,93 @@
+"""Tests for the database facade: collections, change stream, sharding stats."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db import Database, Query
+from repro.errors import CollectionNotFoundError
+
+
+class TestCollections:
+    def test_create_collection_is_idempotent(self, database):
+        first = database.create_collection("posts")
+        second = database.create_collection("posts")
+        assert first is second
+        assert database.collection_names() == ["posts"]
+
+    def test_collection_lookup_requires_existence(self, database):
+        with pytest.raises(CollectionNotFoundError):
+            database.collection("missing")
+        assert not database.has_collection("missing")
+
+    def test_drop_collection(self, database):
+        database.create_collection("posts")
+        assert database.drop_collection("posts") is True
+        assert database.drop_collection("posts") is False
+        assert database.collection_names() == []
+
+
+class TestConvenienceCrud:
+    def test_insert_get_update_delete(self, database):
+        database.insert("posts", {"_id": "p1", "views": 1})
+        assert database.get("posts", "p1")["views"] == 1
+        database.update("posts", "p1", {"$inc": {"views": 1}})
+        assert database.get("posts", "p1")["views"] == 2
+        database.delete("posts", "p1")
+        assert database.collection("posts").get_or_none("p1") is None
+
+    def test_find_routes_to_collection(self, database):
+        database.insert("posts", {"_id": "p1", "category": "a"})
+        database.insert("posts", {"_id": "p2", "category": "b"})
+        result = database.find(Query("posts", {"category": "a"}))
+        assert [doc["_id"] for doc in result] == ["p1"]
+
+    def test_counts(self, database):
+        database.insert("a", {"_id": "1"})
+        database.insert("b", {"_id": "1"})
+        database.update("a", "1", {"$set": {"x": 1}})
+        database.get("a", "1")
+        assert database.total_documents() == 2
+        assert database.total_writes() == 3
+        assert database.total_reads() >= 1
+
+
+class TestChangeStreamIntegration:
+    def test_replay_since_returns_newer_events(self, database):
+        database.insert("posts", {"_id": "p1"})
+        marker = database.change_stream.last_sequence
+        database.insert("posts", {"_id": "p2"})
+        database.insert("posts", {"_id": "p3"})
+        replayed = database.replay_since(marker)
+        assert [event.document_id for event in replayed] == ["p2", "p3"]
+
+    def test_all_collections_share_one_stream(self, database):
+        events = []
+        database.subscribe(events.append)
+        database.insert("a", {"_id": "1"})
+        database.insert("b", {"_id": "2"})
+        assert [event.collection for event in events] == ["a", "b"]
+
+    def test_unsubscribe_stops_delivery(self, database):
+        events = []
+        unsubscribe = database.subscribe(events.append)
+        database.insert("a", {"_id": "1"})
+        unsubscribe()
+        database.insert("a", {"_id": "2"})
+        assert len(events) == 1
+
+
+class TestSharding:
+    def test_shard_statistics_accumulate(self, database):
+        for index in range(50):
+            database.insert("posts", {"_id": f"p{index}"})
+        for index in range(50):
+            database.get("posts", f"p{index}")
+        stats = database.sharder.statistics()
+        assert sum(shard.writes for shard in stats) == 50
+        assert sum(shard.reads for shard in stats) == 50
+
+    def test_hash_sharding_is_reasonably_balanced(self, database):
+        for index in range(400):
+            database.insert("posts", {"_id": f"p{index}"})
+        assert database.sharder.imbalance() < 1.5

@@ -1,0 +1,206 @@
+"""Tests for the MongoDB-style predicate matcher."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db.predicates import matches
+from repro.errors import InvalidQueryError
+
+POST = {
+    "_id": "p1",
+    "title": "Hello",
+    "tags": ["example", "music"],
+    "views": 42,
+    "rating": 4.5,
+    "published": True,
+    "author": {"name": "alice", "karma": 100},
+    "comments": [
+        {"user": "bob", "likes": 3},
+        {"user": "carol", "likes": 10},
+    ],
+}
+
+
+class TestEquality:
+    def test_simple_equality(self):
+        assert matches(POST, {"title": "Hello"})
+        assert not matches(POST, {"title": "Goodbye"})
+
+    def test_array_contains_semantics(self):
+        """The paper's running example: WHERE tags CONTAINS 'example'."""
+        assert matches(POST, {"tags": "example"})
+        assert matches(POST, {"tags": "music"})
+        assert not matches(POST, {"tags": "sports"})
+
+    def test_whole_array_equality(self):
+        assert matches(POST, {"tags": ["example", "music"]})
+        assert not matches(POST, {"tags": ["music", "example"]})
+
+    def test_nested_field_equality(self):
+        assert matches(POST, {"author.name": "alice"})
+        assert not matches(POST, {"author.name": "bob"})
+
+    def test_array_of_documents_fan_out(self):
+        assert matches(POST, {"comments.user": "bob"})
+        assert not matches(POST, {"comments.user": "dave"})
+
+    def test_missing_field_matches_none(self):
+        assert matches(POST, {"nonexistent": None})
+        assert not matches(POST, {"nonexistent": "value"})
+
+    def test_empty_filter_matches_everything(self):
+        assert matches(POST, {})
+
+    def test_boolean_not_confused_with_number(self):
+        assert matches(POST, {"published": True})
+        assert not matches(POST, {"published": 1})
+
+    def test_explicit_eq_operator(self):
+        assert matches(POST, {"views": {"$eq": 42}})
+
+
+class TestComparisons:
+    def test_gt_gte(self):
+        assert matches(POST, {"views": {"$gt": 41}})
+        assert not matches(POST, {"views": {"$gt": 42}})
+        assert matches(POST, {"views": {"$gte": 42}})
+
+    def test_lt_lte(self):
+        assert matches(POST, {"views": {"$lt": 43}})
+        assert not matches(POST, {"views": {"$lt": 42}})
+        assert matches(POST, {"views": {"$lte": 42}})
+
+    def test_range_combination(self):
+        assert matches(POST, {"views": {"$gte": 40, "$lt": 50}})
+        assert not matches(POST, {"views": {"$gte": 40, "$lt": 42}})
+
+    def test_comparison_ignores_mismatched_types(self):
+        assert not matches(POST, {"title": {"$gt": 5}})
+
+    def test_ne(self):
+        assert matches(POST, {"views": {"$ne": 43}})
+        assert not matches(POST, {"views": {"$ne": 42}})
+
+    def test_comparison_on_array_elements(self):
+        assert matches(POST, {"comments.likes": {"$gt": 5}})
+        assert not matches(POST, {"comments.likes": {"$gt": 50}})
+
+
+class TestSetOperators:
+    def test_in(self):
+        assert matches(POST, {"views": {"$in": [41, 42, 43]}})
+        assert not matches(POST, {"views": {"$in": [1, 2]}})
+
+    def test_in_with_array_field(self):
+        assert matches(POST, {"tags": {"$in": ["sports", "music"]}})
+
+    def test_nin(self):
+        assert matches(POST, {"views": {"$nin": [1, 2]}})
+        assert not matches(POST, {"views": {"$nin": [42]}})
+
+    def test_in_requires_list(self):
+        with pytest.raises(InvalidQueryError):
+            matches(POST, {"views": {"$in": 42}})
+
+    def test_all(self):
+        assert matches(POST, {"tags": {"$all": ["example", "music"]}})
+        assert not matches(POST, {"tags": {"$all": ["example", "sports"]}})
+
+    def test_size(self):
+        assert matches(POST, {"tags": {"$size": 2}})
+        assert not matches(POST, {"tags": {"$size": 3}})
+
+    def test_exists(self):
+        assert matches(POST, {"rating": {"$exists": True}})
+        assert matches(POST, {"missing": {"$exists": False}})
+        assert not matches(POST, {"missing": {"$exists": True}})
+
+
+class TestLogicalOperators:
+    def test_and(self):
+        assert matches(POST, {"$and": [{"views": {"$gt": 10}}, {"tags": "example"}]})
+        assert not matches(POST, {"$and": [{"views": {"$gt": 10}}, {"tags": "sports"}]})
+
+    def test_or(self):
+        assert matches(POST, {"$or": [{"views": {"$gt": 100}}, {"tags": "example"}]})
+        assert not matches(POST, {"$or": [{"views": {"$gt": 100}}, {"tags": "sports"}]})
+
+    def test_nor(self):
+        assert matches(POST, {"$nor": [{"views": {"$gt": 100}}, {"tags": "sports"}]})
+        assert not matches(POST, {"$nor": [{"tags": "example"}]})
+
+    def test_not(self):
+        assert matches(POST, {"views": {"$not": {"$gt": 100}}})
+        assert not matches(POST, {"views": {"$not": {"$gt": 10}}})
+
+    def test_implicit_and_of_fields(self):
+        assert matches(POST, {"tags": "example", "views": {"$lt": 100}})
+        assert not matches(POST, {"tags": "example", "views": {"$gt": 100}})
+
+    def test_nested_logical_expressions(self):
+        criteria = {
+            "$or": [
+                {"$and": [{"tags": "example"}, {"views": {"$gte": 42}}]},
+                {"author.karma": {"$gt": 1000}},
+            ]
+        }
+        assert matches(POST, criteria)
+
+    def test_logical_operator_requires_list(self):
+        with pytest.raises(InvalidQueryError):
+            matches(POST, {"$and": {"views": 1}})
+        with pytest.raises(InvalidQueryError):
+            matches(POST, {"$or": []})
+
+
+class TestSpecialisedOperators:
+    def test_regex(self):
+        assert matches(POST, {"title": {"$regex": "^Hel"}})
+        assert not matches(POST, {"title": {"$regex": "^World"}})
+
+    def test_regex_invalid_pattern(self):
+        with pytest.raises(InvalidQueryError):
+            matches(POST, {"title": {"$regex": "("}})
+
+    def test_elem_match_with_document_filter(self):
+        assert matches(POST, {"comments": {"$elemMatch": {"user": "bob", "likes": {"$lt": 5}}}})
+        assert not matches(POST, {"comments": {"$elemMatch": {"user": "bob", "likes": {"$gt": 5}}}})
+
+    def test_elem_match_with_operator_condition(self):
+        document = {"scores": [3, 9, 12]}
+        assert matches(document, {"scores": {"$elemMatch": {"$gt": 10}}})
+        assert not matches(document, {"scores": {"$elemMatch": {"$gt": 20}}})
+
+    def test_mod(self):
+        assert matches(POST, {"views": {"$mod": [7, 0]}})
+        assert not matches(POST, {"views": {"$mod": [5, 1]}})
+
+    def test_mod_validation(self):
+        with pytest.raises(InvalidQueryError):
+            matches(POST, {"views": {"$mod": [0, 1]}})
+        with pytest.raises(InvalidQueryError):
+            matches(POST, {"views": {"$mod": [7]}})
+
+    def test_type(self):
+        assert matches(POST, {"views": {"$type": "number"}})
+        assert matches(POST, {"tags": {"$type": "array"}})
+        assert not matches(POST, {"views": {"$type": "string"}})
+
+
+class TestValidation:
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(InvalidQueryError):
+            matches(POST, {"views": {"$near": 10}})
+
+    def test_unknown_top_level_operator_rejected(self):
+        with pytest.raises(InvalidQueryError):
+            matches(POST, {"$where": "this.views > 10"})
+
+    def test_mixed_operator_and_literal_rejected(self):
+        with pytest.raises(InvalidQueryError):
+            matches(POST, {"views": {"$gt": 10, "literal": 5}})
+
+    def test_non_document_filter_rejected(self):
+        with pytest.raises(InvalidQueryError):
+            matches(POST, ["not", "a", "filter"])

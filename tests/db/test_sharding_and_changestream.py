@@ -1,0 +1,94 @@
+"""Tests for hash sharding and the change stream container."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db.changestream import ChangeEvent, ChangeStream, OperationType
+from repro.db.sharding import HashSharder
+
+
+class TestHashSharder:
+    def test_placement_is_deterministic(self):
+        sharder = HashSharder(4)
+        assert sharder.shard_for("posts", "p1") == sharder.shard_for("posts", "p1")
+
+    def test_placement_in_range(self):
+        sharder = HashSharder(3)
+        for index in range(100):
+            assert 0 <= sharder.shard_for("posts", f"p{index}") < 3
+
+    def test_rejects_non_positive_shards(self):
+        with pytest.raises(ValueError):
+            HashSharder(0)
+
+    def test_counters_track_reads_and_writes(self):
+        sharder = HashSharder(2)
+        shard = sharder.record_write("posts", "p1")
+        sharder.record_read("posts", "p1")
+        stats = sharder.statistics()
+        assert stats[shard].writes == 1
+        assert stats[shard].reads == 1
+        assert stats[shard].operations == 2
+
+    def test_balanced_distribution(self):
+        sharder = HashSharder(4)
+        for index in range(2000):
+            sharder.record_write("posts", f"doc-{index}")
+        assert sharder.imbalance() < 1.25
+
+    def test_imbalance_of_idle_sharder_is_one(self):
+        assert HashSharder(3).imbalance() == 1.0
+
+
+def _event(sequence: int, document_id: str = "d1") -> ChangeEvent:
+    return ChangeEvent(
+        sequence=sequence,
+        operation=OperationType.UPDATE,
+        collection="posts",
+        document_id=document_id,
+        before={"_id": document_id},
+        after={"_id": document_id, "v": sequence},
+        timestamp=float(sequence),
+    )
+
+
+class TestChangeStream:
+    def test_publish_delivers_to_listeners(self):
+        stream = ChangeStream()
+        received = []
+        stream.subscribe(received.append)
+        event = _event(stream.next_sequence())
+        stream.publish(event)
+        assert received == [event]
+
+    def test_unsubscribe(self):
+        stream = ChangeStream()
+        received = []
+        unsubscribe = stream.subscribe(received.append)
+        unsubscribe()
+        stream.publish(_event(stream.next_sequence()))
+        assert received == []
+
+    def test_replay_since(self):
+        stream = ChangeStream()
+        events = [_event(stream.next_sequence(), f"d{index}") for index in range(5)]
+        for event in events:
+            stream.publish(event)
+        replayed = stream.replay_since(events[2].sequence)
+        assert [event.document_id for event in replayed] == ["d3", "d4"]
+
+    def test_history_limit_truncates(self):
+        stream = ChangeStream(history_limit=3)
+        for index in range(10):
+            stream.publish(_event(stream.next_sequence(), f"d{index}"))
+        assert len(stream) == 3
+        assert [event.document_id for event in stream.history] == ["d7", "d8", "d9"]
+
+    def test_history_limit_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ChangeStream(history_limit=0)
+
+    def test_after_image_alias(self):
+        event = _event(1)
+        assert event.after_image == event.after

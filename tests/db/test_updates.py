@@ -1,0 +1,169 @@
+"""Tests for the MongoDB-style update operators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db.updates import apply_update
+from repro.errors import InvalidQueryError
+
+
+@pytest.fixture
+def post():
+    return {
+        "_id": "p1",
+        "title": "Hello",
+        "tags": ["example"],
+        "views": 10,
+        "meta": {"likes": 2},
+    }
+
+
+class TestSetUnset:
+    def test_set_scalar(self, post):
+        updated = apply_update(post, {"$set": {"title": "New"}})
+        assert updated["title"] == "New"
+        assert post["title"] == "Hello"  # original untouched
+
+    def test_set_nested_path(self, post):
+        updated = apply_update(post, {"$set": {"meta.likes": 5, "meta.shares": 1}})
+        assert updated["meta"] == {"likes": 5, "shares": 1}
+
+    def test_set_copies_mutable_operands(self, post):
+        tags = ["a", "b"]
+        updated = apply_update(post, {"$set": {"tags": tags}})
+        tags.append("c")
+        assert updated["tags"] == ["a", "b"]
+
+    def test_unset(self, post):
+        updated = apply_update(post, {"$unset": {"title": ""}})
+        assert "title" not in updated
+
+    def test_unset_missing_is_noop(self, post):
+        updated = apply_update(post, {"$unset": {"nonexistent": ""}})
+        assert updated == post
+
+
+class TestNumericOperators:
+    def test_inc(self, post):
+        assert apply_update(post, {"$inc": {"views": 5}})["views"] == 15
+        assert apply_update(post, {"$inc": {"views": -3}})["views"] == 7
+
+    def test_inc_creates_missing_field(self, post):
+        assert apply_update(post, {"$inc": {"downloads": 2}})["downloads"] == 2
+
+    def test_inc_requires_number(self, post):
+        with pytest.raises(InvalidQueryError):
+            apply_update(post, {"$inc": {"views": "five"}})
+        with pytest.raises(InvalidQueryError):
+            apply_update(post, {"$inc": {"title": 1}})
+
+    def test_mul(self, post):
+        assert apply_update(post, {"$mul": {"views": 3}})["views"] == 30
+
+    def test_min_max(self, post):
+        assert apply_update(post, {"$min": {"views": 5}})["views"] == 5
+        assert apply_update(post, {"$min": {"views": 50}})["views"] == 10
+        assert apply_update(post, {"$max": {"views": 50}})["views"] == 50
+        assert apply_update(post, {"$max": {"views": 5}})["views"] == 10
+
+    def test_min_max_set_missing_field(self, post):
+        assert apply_update(post, {"$min": {"floor": 3}})["floor"] == 3
+        assert apply_update(post, {"$max": {"ceiling": 9}})["ceiling"] == 9
+
+
+class TestArrayOperators:
+    def test_push(self, post):
+        updated = apply_update(post, {"$push": {"tags": "music"}})
+        assert updated["tags"] == ["example", "music"]
+
+    def test_push_each(self, post):
+        updated = apply_update(post, {"$push": {"tags": {"$each": ["a", "b"]}}})
+        assert updated["tags"] == ["example", "a", "b"]
+
+    def test_push_creates_array(self, post):
+        updated = apply_update(post, {"$push": {"links": "http://x"}})
+        assert updated["links"] == ["http://x"]
+
+    def test_push_on_non_array_rejected(self, post):
+        with pytest.raises(InvalidQueryError):
+            apply_update(post, {"$push": {"views": 1}})
+
+    def test_add_to_set_deduplicates(self, post):
+        updated = apply_update(post, {"$addToSet": {"tags": "example"}})
+        assert updated["tags"] == ["example"]
+        updated = apply_update(post, {"$addToSet": {"tags": "music"}})
+        assert updated["tags"] == ["example", "music"]
+
+    def test_add_to_set_each(self, post):
+        updated = apply_update(post, {"$addToSet": {"tags": {"$each": ["example", "new"]}}})
+        assert updated["tags"] == ["example", "new"]
+
+    def test_pull_literal(self, post):
+        updated = apply_update(post, {"$pull": {"tags": "example"}})
+        assert updated["tags"] == []
+
+    def test_pull_with_condition(self):
+        document = {"_id": "d", "scores": [1, 5, 9, 12]}
+        updated = apply_update(document, {"$pull": {"scores": {"$gt": 6}}})
+        assert updated["scores"] == [1, 5]
+
+    def test_pull_missing_field_is_noop(self, post):
+        assert apply_update(post, {"$pull": {"nonexistent": 1}}) == post
+
+    def test_pop(self):
+        document = {"_id": "d", "items": [1, 2, 3]}
+        assert apply_update(document, {"$pop": {"items": 1}})["items"] == [1, 2]
+        assert apply_update(document, {"$pop": {"items": -1}})["items"] == [2, 3]
+
+    def test_pop_requires_one_or_minus_one(self):
+        with pytest.raises(InvalidQueryError):
+            apply_update({"_id": "d", "items": []}, {"$pop": {"items": 2}})
+
+
+class TestOtherOperators:
+    def test_rename(self, post):
+        updated = apply_update(post, {"$rename": {"title": "headline"}})
+        assert "title" not in updated
+        assert updated["headline"] == "Hello"
+
+    def test_rename_missing_is_noop(self, post):
+        assert apply_update(post, {"$rename": {"nope": "new"}}) == post
+
+    def test_current_date_sets_marker(self, post):
+        updated = apply_update(post, {"$currentDate": {"modified": True}})
+        assert updated["modified"] == {"$reproCurrentDate": True}
+
+
+class TestReplacementAndValidation:
+    def test_full_replacement_keeps_id(self, post):
+        updated = apply_update(post, {"title": "Replaced", "views": 0})
+        assert updated == {"_id": "p1", "title": "Replaced", "views": 0}
+
+    def test_mixed_forms_rejected(self, post):
+        with pytest.raises(InvalidQueryError):
+            apply_update(post, {"$set": {"a": 1}, "b": 2})
+
+    def test_unknown_operator_rejected(self, post):
+        with pytest.raises(InvalidQueryError):
+            apply_update(post, {"$bitShift": {"views": 1}})
+
+    def test_id_modification_rejected(self, post):
+        with pytest.raises(InvalidQueryError):
+            apply_update(post, {"$set": {"_id": "other"}})
+
+    def test_operator_arguments_must_be_documents(self, post):
+        with pytest.raises(InvalidQueryError):
+            apply_update(post, {"$set": ["title", "x"]})
+
+    def test_non_document_update_rejected(self, post):
+        with pytest.raises(InvalidQueryError):
+            apply_update(post, "not-a-document")
+
+    def test_multiple_operators_apply_in_order(self, post):
+        updated = apply_update(
+            post, {"$set": {"title": "New"}, "$inc": {"views": 1}, "$push": {"tags": "x"}}
+        )
+        assert updated["title"] == "New"
+        assert updated["views"] == 11
+        assert updated["tags"] == ["example", "x"]

@@ -1,0 +1,151 @@
+"""Tests for the ingestion queues and the capacity manager."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db.changestream import ChangeEvent, OperationType
+from repro.db.query import Query
+from repro.invalidb import CapacityManager, InvaliDBCluster, NotificationType
+from repro.invalidb.ingestion import (
+    ChangestreamIngestionTask,
+    InvaliDBFrontend,
+    QueryActivation,
+    QueryIngestionTask,
+)
+from repro.kvstore import MessageQueue
+
+
+def make_event(sequence: int, document_id: str, category: int) -> ChangeEvent:
+    return ChangeEvent(
+        sequence=sequence,
+        operation=OperationType.UPDATE,
+        collection="posts",
+        document_id=document_id,
+        before=None,
+        after={"_id": document_id, "category": category},
+        timestamp=float(sequence),
+    )
+
+
+class TestIngestionTasks:
+    def test_query_ingestion_activates_and_deactivates(self):
+        cluster = InvaliDBCluster()
+        frontend = InvaliDBFrontend(cluster)
+        query = Query("posts", {"category": 1})
+        frontend.submit_activation(query, [])
+        frontend.pump()
+        assert cluster.is_registered(query.cache_key)
+        frontend.submit_deactivation(query.cache_key)
+        frontend.pump()
+        assert not cluster.is_registered(query.cache_key)
+
+    def test_change_ingestion_produces_notifications(self):
+        cluster = InvaliDBCluster()
+        frontend = InvaliDBFrontend(cluster)
+        query = Query("posts", {"category": 1})
+        frontend.submit_activation(query, [])
+        frontend.submit_change(make_event(1, "d1", 1))
+        notifications = frontend.pump()
+        assert [n.type for n in notifications] == [NotificationType.ADD]
+
+    def test_activations_processed_before_changes(self):
+        """A change submitted right after the activation must not be missed."""
+        cluster = InvaliDBCluster()
+        frontend = InvaliDBFrontend(cluster)
+        query = Query("posts", {"category": 2})
+        frontend.submit_activation(query, [])
+        frontend.submit_change(make_event(1, "d9", 2))
+        notifications = frontend.pump()
+        assert len(notifications) == 1
+
+    def test_backlog_counts_pending_items(self):
+        cluster = InvaliDBCluster()
+        frontend = InvaliDBFrontend(cluster)
+        frontend.submit_activation(Query("posts", {"category": 1}), [])
+        frontend.submit_change(make_event(1, "d1", 1))
+        assert frontend.backlog == 2
+        frontend.pump()
+        assert frontend.backlog == 0
+
+    def test_bounded_queue_rejects_overflow(self):
+        cluster = InvaliDBCluster()
+        frontend = InvaliDBFrontend(cluster, queue_capacity=1)
+        assert frontend.submit_change(make_event(1, "d1", 1)) is True
+        assert frontend.submit_change(make_event(2, "d2", 1)) is False
+
+    def test_unexpected_queue_items_rejected(self):
+        cluster = InvaliDBCluster()
+        queue = MessageQueue("bogus")
+        queue.offer("not-an-event")
+        with pytest.raises(TypeError):
+            ChangestreamIngestionTask(queue, cluster).run_once()
+        queue = MessageQueue("bogus2")
+        queue.offer(42)
+        with pytest.raises(TypeError):
+            QueryIngestionTask(queue, cluster).run_once()
+
+    def test_query_activation_dataclass_holds_initial_result(self):
+        activation = QueryActivation(Query("posts", {}), [{"_id": "a"}])
+        assert activation.initial_result[0]["_id"] == "a"
+
+
+class TestCapacityManager:
+    def test_admits_within_capacity(self):
+        manager = CapacityManager(InvaliDBCluster(), expected_update_rate=100.0)
+        assert manager.admit("query:a", result_size=10) is True
+        assert manager.is_admitted("query:a")
+
+    def test_limit_by_max_active_queries(self):
+        manager = CapacityManager(InvaliDBCluster(), max_active_queries=2)
+        assert manager.admit("q1") and manager.admit("q2")
+        assert manager.admit("q3") is False
+        assert manager.rejections == 1
+
+    def test_already_admitted_queries_stay_admitted(self):
+        manager = CapacityManager(InvaliDBCluster(), max_active_queries=1)
+        assert manager.admit("q1")
+        assert manager.admit("q1")
+        assert manager.admitted_queries() == ["q1"]
+
+    def test_popular_query_displaces_low_scoring_one(self):
+        manager = CapacityManager(InvaliDBCluster(), max_active_queries=1)
+        manager.admit("cold-query")
+        manager.record_invalidation("cold-query")
+        manager.record_invalidation("cold-query")
+        # The hot candidate has many reads and no invalidations.
+        for _ in range(20):
+            manager.record_read("hot-query", result_size=5)
+        assert manager.admit("hot-query") is True
+        assert manager.is_admitted("hot-query")
+        assert not manager.is_admitted("cold-query")
+
+    def test_release(self):
+        manager = CapacityManager(InvaliDBCluster(), max_active_queries=5)
+        manager.admit("q1")
+        assert manager.release("q1") is True
+        assert manager.release("q1") is False
+
+    def test_capacity_limit_scales_with_cluster_size(self):
+        small = CapacityManager(InvaliDBCluster(matching_nodes=1), expected_update_rate=1000.0)
+        large = CapacityManager(InvaliDBCluster(matching_nodes=4), expected_update_rate=1000.0)
+        assert large.capacity_limit() > small.capacity_limit()
+
+    def test_zero_update_rate_means_unbounded(self):
+        manager = CapacityManager(InvaliDBCluster(), expected_update_rate=0.0)
+        assert manager.capacity_limit() == float("inf")
+
+    def test_score_prefers_read_heavy_low_churn_queries(self):
+        manager = CapacityManager(InvaliDBCluster())
+        for _ in range(10):
+            manager.record_read("popular", result_size=10)
+        manager.record_read("churny", result_size=10)
+        for _ in range(5):
+            manager.record_invalidation("churny")
+        assert manager.cost("popular").score > manager.cost("churny").score
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ValueError):
+            CapacityManager(InvaliDBCluster(), headroom=0.0)
+        with pytest.raises(ValueError):
+            CapacityManager(InvaliDBCluster(), expected_update_rate=-1.0)

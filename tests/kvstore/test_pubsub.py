@@ -1,0 +1,62 @@
+"""Tests for the publish/subscribe broker."""
+
+from __future__ import annotations
+
+from repro.kvstore import PubSubBroker
+
+
+class TestPubSub:
+    def test_delivers_to_subscriber(self):
+        broker = PubSubBroker()
+        received = []
+        broker.subscribe("invalidations", lambda channel, message: received.append(message))
+        count = broker.publish("invalidations", {"key": "query:q1"})
+        assert count == 1
+        assert received == [{"key": "query:q1"}]
+
+    def test_multiple_subscribers_all_receive(self):
+        broker = PubSubBroker()
+        received_a, received_b = [], []
+        broker.subscribe("channel", lambda _c, m: received_a.append(m))
+        broker.subscribe("channel", lambda _c, m: received_b.append(m))
+        assert broker.publish("channel", "message") == 2
+        assert received_a == received_b == ["message"]
+
+    def test_no_delivery_across_channels(self):
+        broker = PubSubBroker()
+        received = []
+        broker.subscribe("a", lambda _c, m: received.append(m))
+        assert broker.publish("b", "message") == 0
+        assert received == []
+
+    def test_unsubscribe_stops_delivery(self):
+        broker = PubSubBroker()
+        received = []
+        subscription = broker.subscribe("channel", lambda _c, m: received.append(m))
+        subscription.unsubscribe()
+        broker.publish("channel", "message")
+        assert received == []
+        assert broker.subscriber_count("channel") == 0
+
+    def test_unsubscribe_is_idempotent(self):
+        broker = PubSubBroker()
+        subscription = broker.subscribe("channel", lambda _c, m: None)
+        subscription.unsubscribe()
+        subscription.unsubscribe()
+        assert not subscription.active
+
+    def test_in_order_delivery(self):
+        broker = PubSubBroker()
+        received = []
+        broker.subscribe("channel", lambda _c, m: received.append(m))
+        for index in range(10):
+            broker.publish("channel", index)
+        assert received == list(range(10))
+
+    def test_counters(self):
+        broker = PubSubBroker()
+        broker.subscribe("channel", lambda _c, m: None)
+        broker.publish("channel", "x")
+        broker.publish("other", "y")
+        assert broker.published == 2
+        assert broker.delivered == 1

@@ -1,0 +1,65 @@
+"""Tests for the bounded message queues."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kvstore import MessageQueue
+
+
+class TestMessageQueue:
+    def test_fifo_order(self):
+        queue = MessageQueue("test")
+        queue.offer("a")
+        queue.offer("b")
+        assert queue.poll() == "a"
+        assert queue.poll() == "b"
+        assert queue.poll() is None
+
+    def test_bounded_queue_drops_overflow(self):
+        queue = MessageQueue("bounded", capacity=2)
+        assert queue.offer(1) is True
+        assert queue.offer(2) is True
+        assert queue.offer(3) is False
+        assert len(queue) == 2
+        assert queue.dropped == 1
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            MessageQueue("bad", capacity=0)
+
+    def test_drain_all(self):
+        queue = MessageQueue("test")
+        queue.offer_all(range(5))
+        assert queue.drain() == [0, 1, 2, 3, 4]
+        assert len(queue) == 0
+
+    def test_drain_limited(self):
+        queue = MessageQueue("test")
+        queue.offer_all(range(5))
+        assert queue.drain(2) == [0, 1]
+        assert len(queue) == 3
+
+    def test_peek_does_not_remove(self):
+        queue = MessageQueue("test")
+        queue.offer("item")
+        assert queue.peek() == "item"
+        assert len(queue) == 1
+
+    def test_counters(self):
+        queue = MessageQueue("test", capacity=1)
+        queue.offer("a")
+        queue.offer("b")
+        queue.poll()
+        assert queue.offered == 2
+        assert queue.accepted == 1
+        assert queue.dropped == 1
+        assert queue.consumed == 1
+
+    def test_clear_and_bool(self):
+        queue = MessageQueue("test")
+        assert not queue
+        queue.offer("item")
+        assert queue
+        queue.clear()
+        assert not queue

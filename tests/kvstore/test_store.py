@@ -1,0 +1,151 @@
+"""Tests for the Redis-like key-value store."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clock import VirtualClock
+from repro.kvstore import KeyValueStore
+
+
+@pytest.fixture
+def clock() -> VirtualClock:
+    return VirtualClock()
+
+
+@pytest.fixture
+def store(clock: VirtualClock) -> KeyValueStore:
+    return KeyValueStore(clock=clock)
+
+
+class TestStrings:
+    def test_set_get(self, store):
+        store.set("key", "value")
+        assert store.get("key") == "value"
+
+    def test_get_default(self, store):
+        assert store.get("missing") is None
+        assert store.get("missing", "fallback") == "fallback"
+
+    def test_delete(self, store):
+        store.set("key", 1)
+        assert store.delete("key") is True
+        assert store.delete("key") is False
+        assert not store.exists("key")
+
+    def test_incr_by(self, store):
+        assert store.incr_by("counter") == 1
+        assert store.incr_by("counter", 5) == 6
+        assert store.incr_by("counter", -2) == 4
+
+    def test_incr_by_rejects_non_integer(self, store):
+        store.set("key", "text")
+        with pytest.raises(TypeError):
+            store.incr_by("key")
+
+
+class TestHashes:
+    def test_hset_hget(self, store):
+        store.hset("hash", "field", 42)
+        assert store.hget("hash", "field") == 42
+        assert store.hget("hash", "missing", 0) == 0
+
+    def test_hgetall_returns_copy(self, store):
+        store.hset("hash", "a", 1)
+        snapshot = store.hgetall("hash")
+        snapshot["b"] = 2
+        assert store.hgetall("hash") == {"a": 1}
+
+    def test_hdel(self, store):
+        store.hset("hash", "a", 1)
+        assert store.hdel("hash", "a") is True
+        assert store.hdel("hash", "a") is False
+        assert store.hlen("hash") == 0
+
+    def test_hincrby_removes_zero_fields(self, store):
+        store.hincrby("counters", "slot", 2)
+        store.hincrby("counters", "slot", -2)
+        assert store.hget("counters", "slot", 0) == 0
+        assert store.hlen("counters") == 0
+
+    def test_hincrby_rejects_non_integer(self, store):
+        store.hset("hash", "field", "text")
+        with pytest.raises(TypeError):
+            store.hincrby("hash", "field")
+
+
+class TestSortedSets:
+    def test_zadd_zscore(self, store):
+        store.zadd("zset", "member", 3.5)
+        assert store.zscore("zset", "member") == 3.5
+        assert store.zscore("zset", "missing") is None
+
+    def test_zrangebyscore_ordering(self, store):
+        store.zadd("zset", "c", 3.0)
+        store.zadd("zset", "a", 1.0)
+        store.zadd("zset", "b", 2.0)
+        members = store.zrangebyscore("zset", 1.0, 2.5)
+        assert members == [("a", 1.0), ("b", 2.0)]
+
+    def test_zremrangebyscore(self, store):
+        for index in range(5):
+            store.zadd("zset", f"m{index}", float(index))
+        removed = store.zremrangebyscore("zset", 0.0, 2.0)
+        assert removed == 3
+        assert store.zcard("zset") == 2
+
+    def test_zrem(self, store):
+        store.zadd("zset", "member", 1.0)
+        assert store.zrem("zset", "member") is True
+        assert store.zrem("zset", "member") is False
+        assert store.zcard("zset") == 0
+
+
+class TestExpiration:
+    def test_ttl_expires_keys(self, store, clock):
+        store.set("key", "value", ttl=5.0)
+        assert store.get("key") == "value"
+        clock.advance(6.0)
+        assert store.get("key") is None
+        assert not store.exists("key")
+
+    def test_expire_on_missing_key(self, store):
+        assert store.expire("missing", 10.0) is False
+
+    def test_ttl_query(self, store, clock):
+        store.set("key", "value", ttl=10.0)
+        clock.advance(4.0)
+        assert store.ttl("key") == pytest.approx(6.0)
+        assert store.ttl("persistent-missing") is None
+
+    def test_set_without_ttl_clears_previous_ttl(self, store, clock):
+        store.set("key", "v1", ttl=1.0)
+        store.set("key", "v2")
+        clock.advance(5.0)
+        assert store.get("key") == "v2"
+
+    def test_expire_rejects_negative_ttl(self, store):
+        store.set("key", 1)
+        with pytest.raises(ValueError):
+            store.expire("key", -1.0)
+
+
+class TestAdministration:
+    def test_keys_lists_all_types(self, store):
+        store.set("string", 1)
+        store.hset("hash", "f", 1)
+        store.zadd("zset", "m", 1.0)
+        assert set(store.keys()) == {"string", "hash", "zset"}
+        assert len(store) == 3
+
+    def test_flush(self, store):
+        store.set("a", 1)
+        store.hset("b", "f", 1)
+        store.flush()
+        assert len(store) == 0
+
+    def test_operation_counter_increments(self, store):
+        before = store.operations
+        store.set("a", 1)
+        store.get("a")
+        assert store.operations == before + 2

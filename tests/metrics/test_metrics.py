@@ -1,0 +1,155 @@
+"""Tests for histograms, counters, throughput windows and reports."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics import Counter, ExperimentReport, Histogram, ThroughputWindow, format_table
+
+
+class TestHistogram:
+    def test_mean_min_max(self):
+        histogram = Histogram()
+        histogram.record_many([1.0, 2.0, 3.0, 4.0])
+        assert histogram.mean == 2.5
+        assert histogram.minimum == 1.0
+        assert histogram.maximum == 4.0
+        assert histogram.count == 4
+
+    def test_empty_histogram(self):
+        histogram = Histogram()
+        assert histogram.mean == 0.0
+        assert histogram.percentile(0.99) == 0.0
+        assert histogram.cdf() == []
+
+    def test_percentiles(self):
+        histogram = Histogram()
+        histogram.record_many(range(1, 101))
+        assert histogram.percentile(0.0) == 1
+        assert histogram.percentile(1.0) == 100
+        assert histogram.percentile(0.5) == pytest.approx(50.5)
+        assert histogram.percentile(0.99) == pytest.approx(99.01)
+
+    def test_percentile_bounds_checked(self):
+        with pytest.raises(ValueError):
+            Histogram().percentile(1.5)
+
+    def test_stddev(self):
+        histogram = Histogram()
+        histogram.record_many([2.0, 2.0, 2.0])
+        assert histogram.stddev == 0.0
+        histogram.record_many([0.0, 4.0])
+        assert histogram.stddev > 0.0
+
+    def test_cdf_at_points(self):
+        histogram = Histogram()
+        histogram.record_many([1, 2, 3, 4])
+        cdf = dict(histogram.cdf([0, 2, 5]))
+        assert cdf[0] == 0.0
+        assert cdf[2] == 0.5
+        assert cdf[5] == 1.0
+
+    def test_cdf_without_points_is_monotone(self):
+        histogram = Histogram()
+        histogram.record_many([5, 1, 3, 3, 2])
+        cdf = histogram.cdf()
+        probabilities = [probability for _value, probability in cdf]
+        assert probabilities == sorted(probabilities)
+        assert probabilities[-1] == 1.0
+
+    def test_buckets(self):
+        histogram = Histogram()
+        histogram.record_many([0.5, 1.5, 1.7, 9.0])
+        buckets = histogram.buckets(width=1.0)
+        assert buckets[0.0] == 1
+        assert buckets[1.0] == 2
+        assert buckets[9.0] == 1
+
+    def test_bucket_cap(self):
+        histogram = Histogram()
+        histogram.record_many([1.0, 500.0])
+        buckets = histogram.buckets(width=1.0, maximum=10.0)
+        assert max(buckets) <= 10.0
+
+    def test_bucket_width_validation(self):
+        with pytest.raises(ValueError):
+            Histogram().buckets(0.0)
+
+    def test_merge(self):
+        first, second = Histogram(), Histogram()
+        first.record(1.0)
+        second.record(3.0)
+        first.merge(second)
+        assert first.count == 2
+        assert first.mean == 2.0
+
+
+class TestCounterAndThroughput:
+    def test_counter_increment_and_get(self):
+        counter = Counter()
+        counter.increment("hits")
+        counter.increment("hits", 2)
+        assert counter.get("hits") == 3
+        assert counter["misses"] == 0
+        assert counter.as_dict() == {"hits": 3}
+
+    def test_counter_reset(self):
+        counter = Counter()
+        counter.increment("hits")
+        counter.reset()
+        assert counter.get("hits") == 0
+
+    def test_throughput_window(self):
+        window = ThroughputWindow()
+        window.record(10.0)
+        window.record(12.0)
+        window.record(14.0, operations=2)
+        assert window.operations == 4
+        assert window.duration == 4.0
+        assert window.throughput() == pytest.approx(1.0)
+
+    def test_throughput_with_explicit_window(self):
+        window = ThroughputWindow()
+        window.record(0.0, operations=100)
+        assert window.throughput(window=10.0) == 10.0
+
+    def test_empty_window(self):
+        window = ThroughputWindow()
+        assert window.throughput() == 0.0
+        assert window.duration == 0.0
+
+    def test_negative_operations_rejected(self):
+        with pytest.raises(ValueError):
+            ThroughputWindow().record(0.0, operations=-1)
+
+
+class TestExperimentReport:
+    def test_add_row_validates_columns(self):
+        report = ExperimentReport("X", "desc", columns=["a", "b"])
+        report.add_row(a=1, b=2)
+        with pytest.raises(ValueError):
+            report.add_row(a=1, c=3)
+
+    def test_column_extraction(self):
+        report = ExperimentReport("X", "desc", columns=["a", "b"])
+        report.add_row(a=1, b=2)
+        report.add_row(a=3, b=4)
+        assert report.column("a") == [1, 3]
+        with pytest.raises(KeyError):
+            report.column("missing")
+
+    def test_text_rendering_contains_data_and_notes(self):
+        report = ExperimentReport("Figure X", "A description.", columns=["metric", "value"])
+        report.add_row(metric="throughput", value=123.456)
+        report.add_note("shape holds")
+        text = report.to_text()
+        assert "Figure X" in text
+        assert "throughput" in text
+        assert "123.456" in text
+        assert "shape holds" in text
+
+    def test_format_table_alignment(self):
+        table = format_table(["col"], [{"col": "x"}, {"col": "longer"}])
+        lines = table.splitlines()
+        assert len(lines) == 4  # header, separator, two rows
+        assert len(set(len(line) for line in lines)) == 1

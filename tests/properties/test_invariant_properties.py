@@ -1,0 +1,119 @@
+"""Property-based tests for query normalisation, histograms and TTL maths."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.db.query import Query
+from repro.metrics import Histogram
+from repro.ttl.ewma import EwmaTracker
+from repro.ttl.poisson import combined_write_rate, poisson_quantile_ttl
+
+simple_criteria = st.dictionaries(
+    st.sampled_from(["category", "views", "author", "tags"]),
+    st.one_of(st.integers(min_value=0, max_value=50), st.text(max_size=6)),
+    max_size=3,
+)
+
+
+class TestQueryNormalisationProperties:
+    @given(simple_criteria)
+    @settings(max_examples=60)
+    def test_key_order_does_not_matter(self, criteria):
+        reversed_criteria = dict(reversed(list(criteria.items())))
+        assert Query("posts", criteria) == Query("posts", reversed_criteria)
+
+    @given(simple_criteria)
+    @settings(max_examples=60)
+    def test_cache_key_is_stable(self, criteria):
+        assert Query("posts", criteria).cache_key == Query("posts", criteria).cache_key
+
+    @given(simple_criteria, simple_criteria)
+    @settings(max_examples=60)
+    def test_equal_keys_imply_equal_queries(self, left, right):
+        first, second = Query("posts", left), Query("posts", right)
+        if first.cache_key == second.cache_key:
+            assert first == second
+
+
+class TestHistogramProperties:
+    samples = st.lists(
+        st.floats(min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False),
+        min_size=1,
+        max_size=200,
+    )
+
+    @given(samples, st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=80)
+    def test_percentiles_bounded_by_min_and_max(self, values, fraction):
+        histogram = Histogram()
+        histogram.record_many(values)
+        percentile = histogram.percentile(fraction)
+        assert min(values) - 1e-9 <= percentile <= max(values) + 1e-9
+
+    @given(samples)
+    @settings(max_examples=60)
+    def test_cdf_is_monotone_and_ends_at_one(self, values):
+        histogram = Histogram()
+        histogram.record_many(values)
+        cdf = histogram.cdf()
+        probabilities = [probability for _value, probability in cdf]
+        assert all(b >= a for a, b in zip(probabilities, probabilities[1:]))
+        assert probabilities[-1] == 1.0
+
+    @given(samples)
+    @settings(max_examples=60)
+    def test_mean_between_min_and_max(self, values):
+        histogram = Histogram()
+        histogram.record_many(values)
+        assert min(values) - 1e-9 <= histogram.mean <= max(values) + 1e-9
+
+    @given(samples, samples)
+    @settings(max_examples=40)
+    def test_merge_preserves_count_and_bounds(self, left, right):
+        first, second = Histogram(), Histogram()
+        first.record_many(left)
+        second.record_many(right)
+        first.merge(second)
+        assert first.count == len(left) + len(right)
+        assert first.maximum == max(max(left), max(right))
+
+
+class TestTtlMathsProperties:
+    rates = st.floats(min_value=1e-6, max_value=10.0, allow_nan=False)
+    quantiles = st.floats(min_value=0.01, max_value=0.99)
+
+    @given(rates, quantiles)
+    @settings(max_examples=80)
+    def test_quantile_ttl_satisfies_cdf(self, rate, quantile):
+        """F(ttl) = 1 - exp(-rate * ttl) must equal the requested quantile."""
+        ttl = poisson_quantile_ttl(rate, quantile)
+        assert 1.0 - math.exp(-rate * ttl) == pytest_approx(quantile)
+
+    @given(st.lists(rates, min_size=1, max_size=20))
+    @settings(max_examples=60)
+    def test_combined_rate_at_least_max_individual(self, individual_rates):
+        combined = combined_write_rate(individual_rates)
+        assert combined >= max(individual_rates) - 1e-12
+
+    @given(rates, quantiles, quantiles)
+    @settings(max_examples=60)
+    def test_ttl_monotone_in_quantile(self, rate, first, second):
+        low, high = sorted((first, second))
+        assert poisson_quantile_ttl(rate, low) <= poisson_quantile_ttl(rate, high)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1000.0, allow_nan=False), min_size=1, max_size=50))
+    @settings(max_examples=60)
+    def test_ewma_stays_within_observed_range(self, observations):
+        tracker = EwmaTracker(alpha=0.7)
+        for observation in observations:
+            value = tracker.update("key", observation)
+        assert min(observations) - 1e-9 <= value <= max(observations) + 1e-9
+
+
+def pytest_approx(value: float):
+    import pytest
+
+    return pytest.approx(value, rel=1e-9, abs=1e-12)

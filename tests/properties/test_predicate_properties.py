@@ -1,0 +1,156 @@
+"""Property-based tests for the predicate matcher and update operators."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.db.documents import compare_values, deep_copy
+from repro.db.predicates import matches
+from repro.db.updates import apply_update
+
+field_names = st.sampled_from(["views", "likes", "score", "rank"])
+scalar_values = st.one_of(
+    st.integers(min_value=-1000, max_value=1000),
+    st.floats(min_value=-1000, max_value=1000, allow_nan=False, allow_infinity=False),
+)
+
+documents = st.fixed_dictionaries(
+    {
+        "_id": st.text(min_size=1, max_size=8),
+        "views": st.integers(min_value=0, max_value=1000),
+        "title": st.text(max_size=12),
+        "tags": st.lists(st.sampled_from(["a", "b", "c", "d"]), max_size=4),
+    }
+)
+
+
+class TestPredicateProperties:
+    @given(documents)
+    @settings(max_examples=80)
+    def test_empty_filter_matches_everything(self, document):
+        assert matches(document, {})
+
+    @given(documents, st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=80)
+    def test_comparison_operators_agree_with_python(self, document, threshold):
+        views = document["views"]
+        assert matches(document, {"views": {"$gt": threshold}}) == (views > threshold)
+        assert matches(document, {"views": {"$gte": threshold}}) == (views >= threshold)
+        assert matches(document, {"views": {"$lt": threshold}}) == (views < threshold)
+        assert matches(document, {"views": {"$lte": threshold}}) == (views <= threshold)
+        assert matches(document, {"views": {"$eq": threshold}}) == (views == threshold)
+        assert matches(document, {"views": {"$ne": threshold}}) == (views != threshold)
+
+    @given(documents, st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=5))
+    @settings(max_examples=60)
+    def test_in_is_disjunction_of_equalities(self, document, candidates):
+        as_in = matches(document, {"views": {"$in": candidates}})
+        as_or = matches(document, {"$or": [{"views": value} for value in candidates]})
+        assert as_in == as_or
+
+    @given(documents, st.sampled_from(["a", "b", "c", "d", "z"]))
+    @settings(max_examples=60)
+    def test_tag_containment_equals_python_membership(self, document, tag):
+        assert matches(document, {"tags": tag}) == (tag in document["tags"])
+
+    @given(documents, st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=60)
+    def test_not_is_complement(self, document, threshold):
+        positive = matches(document, {"views": {"$gt": threshold}})
+        negative = matches(document, {"views": {"$not": {"$gt": threshold}}})
+        assert positive != negative
+
+    @given(documents, st.integers(min_value=0, max_value=1000), st.sampled_from(["a", "b", "z"]))
+    @settings(max_examples=60)
+    def test_de_morgan_nor_equals_not_or(self, document, threshold, tag):
+        clauses = [{"views": {"$gt": threshold}}, {"tags": tag}]
+        assert matches(document, {"$nor": clauses}) == (not matches(document, {"$or": clauses}))
+
+    @given(documents)
+    @settings(max_examples=60)
+    def test_matching_does_not_mutate_document(self, document):
+        snapshot = deep_copy(document)
+        matches(document, {"views": {"$gt": 10}, "tags": "a"})
+        assert document == snapshot
+
+
+class TestCompareValuesProperties:
+    values = st.one_of(
+        st.none(),
+        st.booleans(),
+        st.integers(min_value=-50, max_value=50),
+        st.text(max_size=5),
+        st.lists(st.integers(min_value=-5, max_value=5), max_size=3),
+    )
+
+    @given(values, values)
+    @settings(max_examples=100)
+    def test_antisymmetry(self, left, right):
+        assert compare_values(left, right) == -compare_values(right, left)
+
+    @given(values)
+    @settings(max_examples=60)
+    def test_reflexivity(self, value):
+        assert compare_values(value, value) == 0
+
+    @given(values, values, values)
+    @settings(max_examples=100)
+    def test_transitivity_of_ordering(self, a, b, c):
+        ordered = sorted([a, b, c], key=lambda value: _OrderKey(value))
+        assert compare_values(ordered[0], ordered[1]) <= 0
+        assert compare_values(ordered[1], ordered[2]) <= 0
+        assert compare_values(ordered[0], ordered[2]) <= 0
+
+
+class _OrderKey:
+    def __init__(self, value):
+        self.value = value
+
+    def __lt__(self, other):
+        return compare_values(self.value, other.value) < 0
+
+
+class TestUpdateProperties:
+    @given(documents, field_names, scalar_values)
+    @settings(max_examples=80)
+    def test_set_then_read_back(self, document, field, value):
+        updated = apply_update(document, {"$set": {field: value}})
+        assert updated[field] == value
+
+    @given(documents, st.integers(min_value=-100, max_value=100), st.integers(min_value=-100, max_value=100))
+    @settings(max_examples=80)
+    def test_inc_composes_additively(self, document, first, second):
+        in_two_steps = apply_update(
+            apply_update(document, {"$inc": {"views": first}}), {"$inc": {"views": second}}
+        )
+        in_one_step = apply_update(document, {"$inc": {"views": first + second}})
+        assert in_two_steps["views"] == in_one_step["views"]
+
+    @given(documents, st.sampled_from(["a", "b", "c", "x"]))
+    @settings(max_examples=60)
+    def test_add_to_set_is_idempotent(self, document, tag):
+        once = apply_update(document, {"$addToSet": {"tags": tag}})
+        twice = apply_update(once, {"$addToSet": {"tags": tag}})
+        assert once["tags"] == twice["tags"]
+        assert tag in twice["tags"]
+
+    @given(documents, st.sampled_from(["a", "b", "c"]))
+    @settings(max_examples=60)
+    def test_pull_removes_all_occurrences(self, document, tag):
+        updated = apply_update(document, {"$pull": {"tags": tag}})
+        assert tag not in updated["tags"]
+
+    @given(documents, field_names, scalar_values)
+    @settings(max_examples=80)
+    def test_updates_never_mutate_the_input(self, document, field, value):
+        snapshot = deep_copy(document)
+        apply_update(document, {"$set": {field: value}})
+        apply_update(document, {"$inc": {"views": 3}})
+        apply_update(document, {"$push": {"tags": "zzz"}})
+        assert document == snapshot
+
+    @given(documents)
+    @settings(max_examples=40)
+    def test_update_preserves_id(self, document):
+        updated = apply_update(document, {"$set": {"title": "x"}})
+        assert updated["_id"] == document["_id"]

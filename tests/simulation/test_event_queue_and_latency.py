@@ -1,0 +1,118 @@
+"""Tests for the discrete-event queue and the latency models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clock import VirtualClock
+from repro.simulation import EventQueue, LatencyModel, NetworkTopology, REGION_RTT_SECONDS
+
+
+class TestEventQueue:
+    def test_events_execute_in_timestamp_order(self):
+        queue = EventQueue()
+        executed = []
+        queue.schedule(3.0, lambda: executed.append("c"))
+        queue.schedule(1.0, lambda: executed.append("a"))
+        queue.schedule(2.0, lambda: executed.append("b"))
+        clock = VirtualClock()
+        queue.run_until(clock, 10.0)
+        assert executed == ["a", "b", "c"]
+        assert clock.now() == 10.0
+
+    def test_ties_break_by_insertion_order(self):
+        queue = EventQueue()
+        executed = []
+        queue.schedule(1.0, lambda: executed.append("first"))
+        queue.schedule(1.0, lambda: executed.append("second"))
+        queue.run_until(VirtualClock(), 2.0)
+        assert executed == ["first", "second"]
+
+    def test_run_until_respects_end_time(self):
+        queue = EventQueue()
+        executed = []
+        queue.schedule(1.0, lambda: executed.append("early"))
+        queue.schedule(5.0, lambda: executed.append("late"))
+        clock = VirtualClock()
+        count = queue.run_until(clock, 2.0)
+        assert count == 1
+        assert executed == ["early"]
+        assert len(queue) == 1
+
+    def test_cancelled_events_are_skipped(self):
+        queue = EventQueue()
+        executed = []
+        event = queue.schedule(1.0, lambda: executed.append("cancelled"))
+        queue.schedule(2.0, lambda: executed.append("kept"))
+        event.cancel()
+        queue.run_until(VirtualClock(), 5.0)
+        assert executed == ["kept"]
+
+    def test_peek_time_skips_cancelled(self):
+        queue = EventQueue()
+        event = queue.schedule(1.0, lambda: None)
+        queue.schedule(4.0, lambda: None)
+        event.cancel()
+        assert queue.peek_time() == 4.0
+
+    def test_negative_timestamp_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().schedule(-1.0, lambda: None)
+
+    def test_pop_on_empty(self):
+        assert EventQueue().pop() is None
+        assert not EventQueue()
+
+
+class TestLatencyModel:
+    def test_zero_jitter_returns_mean(self):
+        model = LatencyModel(mean=0.1)
+        assert model.sample() == 0.1
+
+    def test_jitter_respects_minimum(self):
+        model = LatencyModel(mean=0.001, jitter=0.01, minimum=0.0005)
+        assert all(model.sample() >= 0.0005 for _ in range(200))
+
+    def test_reseed_reproducibility(self):
+        model = LatencyModel(mean=0.1, jitter=0.01)
+        model.reseed(5)
+        first = [model.sample() for _ in range(10)]
+        model.reseed(5)
+        second = [model.sample() for _ in range(10)]
+        assert first == second
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            LatencyModel(mean=-1.0)
+        with pytest.raises(ValueError):
+            LatencyModel(mean=0.1, jitter=-0.1)
+
+
+class TestNetworkTopology:
+    def test_levels_have_expected_ordering(self):
+        topology = NetworkTopology.no_jitter()
+        client = topology.read_latency("client")
+        cdn = topology.read_latency("cdn")
+        origin = topology.read_latency("origin")
+        assert client < cdn < origin
+        assert origin > 0.1  # wide-area round trip dominates
+
+    def test_write_latency_includes_origin_round_trip(self):
+        topology = NetworkTopology.no_jitter()
+        assert topology.write_latency() > topology.read_latency("cdn")
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkTopology.no_jitter().read_latency("nonexistent")
+
+    def test_region_table_contains_figure1_regions(self):
+        assert {"Frankfurt", "California", "Sydney", "Tokyo"} <= set(REGION_RTT_SECONDS)
+        assert REGION_RTT_SECONDS["Frankfurt"] < REGION_RTT_SECONDS["Sydney"]
+
+    def test_reseed_applies_to_all_paths(self):
+        topology = NetworkTopology()
+        topology.reseed(11)
+        first = (topology.cdn_hit.sample(), topology.origin_round_trip.sample())
+        topology.reseed(11)
+        second = (topology.cdn_hit.sample(), topology.origin_round_trip.sample())
+        assert first == second

@@ -1,0 +1,47 @@
+"""Smoke tests keeping the runnable examples working.
+
+Only the fast examples are executed here (the flash-sale and Delta-sweep
+examples run full Monte Carlo simulations and are exercised by the benchmark
+suite instead).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import runpy
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "blog_platform.py",
+    "realtime_dashboard.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs_to_completion(script, capsys):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), f"example {script} is missing"
+    runpy.run_path(str(path), run_name="__main__")
+    output = capsys.readouterr().out
+    assert output.strip(), f"example {script} produced no output"
+
+
+def test_quickstart_demonstrates_the_caching_lifecycle(capsys):
+    runpy.run_path(str(EXAMPLES_DIR / "quickstart.py"), run_name="__main__")
+    output = capsys.readouterr().out
+    # The walkthrough must show a cache hit, bounded staleness and a revalidation.
+    assert "'client'" in output
+    assert "bounded staleness" in output
+    assert "revalidated, now fresh" in output
+
+
+def test_dashboard_example_reports_live_changes(capsys):
+    runpy.run_path(str(EXAMPLES_DIR / "realtime_dashboard.py"), run_name="__main__")
+    output = capsys.readouterr().out
+    assert "[orders]" in output and "add" in output
+    assert "awaiting shipment" in output
+    assert "dashboard closed" in output
