@@ -1,0 +1,25 @@
+# Developer entry points for the Quaestor reproduction.
+#
+#   make test        - tier-1 test suite (what CI gates on)
+#   make bench-smoke - fast benchmark subset (EBF micro + cluster scaling)
+#   make bench       - every benchmark target (regenerates benchmarks/results/)
+#   make docs-check  - fail if README.md or docs/ reference missing modules/files
+
+PYTHON ?= python
+PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
+
+BENCH_FILES := $(wildcard benchmarks/bench_*.py)
+
+.PHONY: test bench-smoke bench docs-check
+
+test:
+	$(PYTEST) -x -q
+
+bench-smoke:
+	$(PYTEST) benchmarks/bench_ebf_throughput.py benchmarks/bench_cluster_scaling.py -q
+
+bench:
+	$(PYTEST) $(BENCH_FILES) -q
+
+docs-check:
+	$(PYTHON) scripts/docs_check.py

@@ -1,0 +1,30 @@
+"""Benchmark target for the scale-out experiment (1/2/4/8 Quaestor shards)."""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.benchmarks.cluster_scaling import run_cluster_scaling
+
+
+def test_cluster_scaling(benchmark, scale):
+    report = benchmark.pedantic(
+        run_cluster_scaling,
+        kwargs={"scale": scale, "connections": 240, "max_operations": 4_000},
+        rounds=1,
+        iterations=1,
+    )
+    emit(report)
+
+    throughput = {row["shards"]: row["throughput"] for row in report.rows}
+    # Scale-out must pay off: the 8-shard fleet clearly beats a single server,
+    # and adding the first shard already helps.
+    assert throughput[8] > throughput[1]
+    assert throughput[2] > throughput[1]
+    # Sub-linear but real scaling: per-shard throughput drops (scatter/gather
+    # queries consume capacity everywhere) while the aggregate still grows.
+    per_shard = {row["shards"]: row["per_shard_throughput"] for row in report.rows}
+    assert per_shard[8] < per_shard[1]
+
+    # Placement must stay balanced on every swept fleet size.
+    assert all(row["routing_imbalance"] < 2.0 for row in report.rows)

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Documentation link/import checker (the ``make docs-check`` target).
+
+Scans ``README.md`` and every Markdown file under ``docs/`` for
+
+* dotted module references like ``repro.cluster`` or
+  ``src/repro/core/server.py`` -- the module (or the attribute of a module,
+  e.g. ``repro.ttl.estimator``) must be importable from ``src/``, and
+* repository-relative file paths like ``benchmarks/bench_table1.py`` or
+  ``examples/quickstart.py`` -- the file or directory must exist.
+
+Exits non-zero listing every reference that does not resolve, so stale docs
+fail CI instead of silently rotting.
+"""
+
+from __future__ import annotations
+
+import importlib
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Inline-code spans are the docs' way of naming code; only those are checked.
+CODE_SPAN = re.compile(r"`([^`\n]+)`")
+#: A repository-relative path: at least one slash, a known top-level prefix.
+PATH_PREFIXES = ("src/", "docs/", "tests/", "benchmarks/", "examples/", "scripts/")
+#: A dotted reference into the reproduction package.
+MODULE_REFERENCE = re.compile(r"^repro(\.\w+)+$")
+
+
+def iter_markdown_files() -> list:
+    files = [REPO_ROOT / "README.md"]
+    files.extend(sorted((REPO_ROOT / "docs").glob("**/*.md")))
+    return [path for path in files if path.exists()]
+
+
+def check_module(reference: str) -> bool:
+    """True when ``reference`` imports as a module or module attribute."""
+    try:
+        importlib.import_module(reference)
+        return True
+    except ImportError:
+        module, _, attribute = reference.rpartition(".")
+        if not module:
+            return False
+        try:
+            return hasattr(importlib.import_module(module), attribute)
+        except ImportError:
+            return False
+
+
+def check_path(reference: str) -> bool:
+    return (REPO_ROOT / reference).exists()
+
+
+def check_file(path: Path) -> list:
+    """All broken references in one Markdown file, as (line, ref, kind)."""
+    broken = []
+    for line_number, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        for span in CODE_SPAN.findall(line):
+            candidate = span.strip()
+            if MODULE_REFERENCE.match(candidate):
+                if not check_module(candidate):
+                    broken.append((line_number, candidate, "module"))
+            elif (
+                candidate.startswith(PATH_PREFIXES)
+                and " " not in candidate
+                and "<" not in candidate  # template placeholders like <experiment>
+            ):
+                if not check_path(candidate):
+                    broken.append((line_number, candidate, "path"))
+    return broken
+
+
+def main() -> int:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    failures = 0
+    checked = 0
+    for path in iter_markdown_files():
+        checked += 1
+        for line_number, reference, kind in check_file(path):
+            failures += 1
+            relative = path.relative_to(REPO_ROOT)
+            print(f"{relative}:{line_number}: unresolved {kind} reference: {reference}")
+    if failures:
+        print(f"docs-check: {failures} broken reference(s) in {checked} file(s)")
+        return 1
+    print(f"docs-check: OK ({checked} file(s) checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

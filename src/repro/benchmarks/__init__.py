@@ -14,6 +14,8 @@ Module            Paper artefact
 ``table1``        Tab. 1  -- latency for increasing document counts
 ``ablations``     additional design-choice ablations (TTL estimators,
                   representations, EBF refresh intervals)
+``cluster_scaling``  scale-out experiment for the sharded deployment layer
+                  (:mod:`repro.cluster`); not a paper artefact
 ================  ==========================================================
 
 Every harness accepts a :class:`BenchmarkScale` so the same code can run a

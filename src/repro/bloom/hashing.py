@@ -73,6 +73,23 @@ def stable_uint64(key: str | bytes) -> int:
     return fnv1a_64(_as_bytes(key))
 
 
+def mixed_uint64(key: str | bytes) -> int:
+    """A stable 64-bit hash with strong avalanche across *all* bit positions.
+
+    FNV-1a mixes its low bits well (fine for the modulo-based users of
+    :func:`stable_uint64`) but keys sharing a prefix stay close in the upper
+    bits, which would cluster them onto one arc of a consistent-hash ring.
+    Applying MurmurHash3's 64-bit finaliser spreads them uniformly.
+    """
+    value = fnv1a_64(_as_bytes(key))
+    value ^= value >> 33
+    value = (value * 0xFF51AFD7ED558CCD) & _MASK_64
+    value ^= value >> 33
+    value = (value * 0xC4CEB9FE1A85EC53) & _MASK_64
+    value ^= value >> 33
+    return value
+
+
 def spread(keys: Iterable[str | bytes], buckets: int) -> List[int]:
     """Map each key to one of ``buckets`` partitions using the stable hash."""
     if buckets <= 0:

@@ -11,6 +11,26 @@ as potentially stale) skip expiration-based caches for *serving*, but may
 still be answered by invalidation-based caches, reflecting the paper's
 optimisation of answering revalidation requests at the CDN whenever the
 invalidation latency is accounted for in the client's staleness bound.
+
+Public entry points
+-------------------
+* :meth:`CacheHierarchy.fetch` -- resolve a cache key through the chain
+  (optionally as a revalidation or a bypass-all strong read); responses
+  populate every consulted cache on the way back.
+* :meth:`CacheHierarchy.purge` -- remove a key from every invalidation-based
+  cache in the chain (what the server's purge fan-out calls).
+* :class:`FetchResult` -- where a fetch was answered (``level``), which the
+  simulator maps to a network latency.
+
+Cluster integration
+-------------------
+The hierarchy is origin-agnostic: its ``origin`` callable may be backed by a
+single :class:`~repro.core.QuaestorServer` or by the
+:class:`~repro.cluster.ClusterClient` facade of a sharded deployment -- the
+:class:`~repro.client.QuaestorClient` builds the chain identically in both
+cases.  Cache keys are global (records carry their owning shard only inside
+the router), so shared caches like the CDN need no cluster awareness: a purge
+issued by any shard evicts the merged entry.
 """
 
 from __future__ import annotations

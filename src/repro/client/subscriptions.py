@@ -57,18 +57,10 @@ class QuerySubscription:
 
     def result(self) -> List[Document]:
         """The current materialised result (ordered like the query demands)."""
-        documents = [deep_copy(document) for document in self._documents.values()]
-        if self.query.sort:
-            from repro.db.documents import sort_key
+        from repro.db.query import apply_sort_and_window
 
-            documents.sort(key=lambda document: sort_key(document, list(self.query.sort)))
-        else:
-            documents.sort(key=lambda document: str(document.get("_id", "")))
-        if self.query.offset:
-            documents = documents[self.query.offset:]
-        if self.query.limit is not None:
-            documents = documents[: self.query.limit]
-        return documents
+        documents = [deep_copy(document) for document in self._documents.values()]
+        return apply_sort_and_window(documents, self.query)
 
     def __len__(self) -> int:
         return len(self.result())

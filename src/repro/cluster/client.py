@@ -1,0 +1,102 @@
+"""The cluster facade: a sharded deployment behind the single-server protocol.
+
+:class:`ClusterClient` exposes exactly the surface a
+:class:`~repro.client.QuaestorClient` (and the simulator) expects from a
+:class:`~repro.core.QuaestorServer` -- ``handle_read``, ``handle_query``, the
+write handlers, ``get_bloom_filter``, ``register_purge_target``,
+``statistics`` and the ``clock`` property -- and implements each of them by
+routing through the :class:`~repro.cluster.deployment.QuaestorCluster`.  An
+unmodified ``QuaestorClient`` therefore works against a sharded fleet:
+
+>>> cluster = QuaestorCluster(num_shards=4)
+>>> client = QuaestorClient(ClusterClient(cluster))   # doctest: +SKIP
+
+The one deliberate gap is :meth:`begin_transaction`: the reproduction's
+optimistic transactions validate against a single server's data, and
+cross-shard commit would need a distributed validation protocol the paper
+does not describe, so the facade refuses rather than silently miscommitting.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.bloom.bloom_filter import BloomFilter
+from repro.clock import Clock
+from repro.cluster.deployment import QuaestorCluster
+from repro.core.server import InvalidationHook, PurgeTarget
+from repro.db.documents import Document
+from repro.db.query import Query
+from repro.errors import UnsupportedOperationError
+from repro.rest.messages import Response
+from repro.workloads.operations import Operation, dispatch_operation
+
+
+class ClusterClient:
+    """Server-protocol facade over a :class:`QuaestorCluster`."""
+
+    def __init__(self, cluster: QuaestorCluster) -> None:
+        self.cluster = cluster
+
+    # -- protocol: wiring ---------------------------------------------------------------
+
+    @property
+    def clock(self) -> Clock:
+        return self.cluster.clock
+
+    def now(self) -> float:
+        return self.cluster.clock.now()
+
+    def register_purge_target(self, target: PurgeTarget) -> None:
+        self.cluster.register_purge_target(target)
+
+    def add_invalidation_hook(self, hook: InvalidationHook) -> None:
+        self.cluster.add_invalidation_hook(hook)
+
+    def get_bloom_filter(self) -> BloomFilter:
+        """The union of every shard's flat EBF (the client's coherence view)."""
+        return self.cluster.bloom_filter()
+
+    # -- protocol: reads ----------------------------------------------------------------
+
+    def handle_read(self, collection: str, document_id: str) -> Response:
+        return self.cluster.read(collection, document_id)
+
+    def handle_query(self, query: Query) -> Response:
+        return self.cluster.query(query)
+
+    # -- protocol: writes ---------------------------------------------------------------
+
+    def handle_insert(self, collection: str, document: Document) -> Response:
+        return self.cluster.insert(collection, document)
+
+    def handle_update(self, collection: str, document_id: str, update: Document) -> Response:
+        return self.cluster.update(collection, document_id, update)
+
+    def handle_delete(self, collection: str, document_id: str) -> Response:
+        return self.cluster.delete(collection, document_id)
+
+    def handle_write_batch(self, operations: Sequence[Operation]) -> List[Response]:
+        """Batched write propagation: routed per shard, one pump per shard batch."""
+        return self.cluster.write_batch(operations)
+
+    def execute(self, operation: Operation) -> Response:
+        """Execute a workload operation (same dispatch as the single server)."""
+        return dispatch_operation(self, operation)
+
+    # -- protocol: transactions ---------------------------------------------------------
+
+    def begin_transaction(self):
+        raise UnsupportedOperationError(
+            "cross-shard transactions require distributed commit validation, "
+            "which the sharded deployment does not implement"
+        )
+
+    # -- statistics ---------------------------------------------------------------------
+
+    def statistics(self) -> Dict[str, float]:
+        """Cluster-wide aggregated statistics (summed shard counters + routing)."""
+        return self.cluster.statistics()
+
+    def __repr__(self) -> str:
+        return f"ClusterClient({self.cluster!r})"

@@ -1,0 +1,314 @@
+"""Sharded Quaestor deployments: N independent servers behind one router.
+
+A :class:`QuaestorCluster` runs ``num_shards`` complete Quaestor stacks side
+by side -- each shard owns its own document :class:`~repro.db.Database`,
+:class:`~repro.core.QuaestorServer`, Expiring Bloom Filter, TTL estimator and
+InvaliDB cluster.  Records are placed onto shards by the consistent-hash
+:class:`~repro.cluster.router.ShardRouter`; queries scatter over every shard
+and their results are gathered and merged here.
+
+The merge preserves single-node semantics exactly: shard sub-results are
+concatenated, re-sorted with the same comparator the collections use, and the
+global ``OFFSET``/``LIMIT`` window is cut afterwards (each shard fetches the
+top ``offset + limit`` candidates so the global window is always covered).
+Cache-Control headers are merged with *min-TTL wins*: the merged result is
+only as cacheable as its least cacheable shard sub-result, so no cache ever
+holds the merged entry longer than any shard could vouch for.
+
+Writes route to the owning shard; batches are grouped per shard and applied
+through :meth:`~repro.core.QuaestorServer.handle_write_batch`, which pumps
+the invalidation queues once per batch (batched write propagation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.bloom.bloom_filter import BloomFilter
+from repro.clock import Clock, VirtualClock
+from repro.core.config import QuaestorConfig
+from repro.core.representation import (
+    ResultRepresentation,
+    choose_representation,
+    object_list_body,
+)
+from repro.core.server import PurgeTarget, InvalidationHook, QuaestorServer
+from repro.db.database import Database
+from repro.db.documents import Document
+from repro.db.query import Query, apply_sort_and_window
+from repro.invalidb.cluster import InvaliDBCluster
+from repro.metrics.counters import Counter
+from repro.cluster.metrics import ClusterMetrics
+from repro.cluster.router import ShardRouter
+from repro.rest.etags import etag_for
+from repro.rest.messages import Response
+from repro.simulation.staleness import StalenessAuditor
+from repro.workloads.dataset import Dataset, INDEXED_QUERY_FIELD
+from repro.workloads.operations import Operation, OperationType
+
+
+@dataclass
+class QuaestorShard:
+    """One shard of a cluster: a database plus the Quaestor server on top."""
+
+    shard_id: int
+    database: Database
+    server: QuaestorServer
+
+
+class QuaestorCluster:
+    """A fleet of independent Quaestor servers sharded by record key.
+
+    Parameters
+    ----------
+    num_shards:
+        Number of shards; each is a complete Quaestor stack.
+    clock:
+        Shared time source (one virtual clock drives the whole fleet).
+    config:
+        Middleware configuration applied to every shard (and used by the
+        router when choosing the merged result representation).
+    matching_nodes:
+        InvaliDB matching nodes *per shard*.
+    auditor:
+        Shared staleness auditor; record versions are global, so one auditor
+        observes the whole cluster.
+    dataset:
+        Optional dataset loaded (routed by record key) into the shard
+        databases *before* the servers subscribe to the change streams,
+        mirroring the single-node simulator's pre-load.
+    """
+
+    def __init__(
+        self,
+        num_shards: int,
+        clock: Optional[Clock] = None,
+        config: Optional[QuaestorConfig] = None,
+        matching_nodes: int = 1,
+        auditor: Optional[StalenessAuditor] = None,
+        dataset: Optional[Dataset] = None,
+        replicas: int = 64,
+        create_indexes: bool = True,
+    ) -> None:
+        if num_shards <= 0:
+            raise ValueError("num_shards must be positive")
+        self.clock: Clock = clock if clock is not None else VirtualClock()
+        self.config = config if config is not None else QuaestorConfig()
+        self.router = ShardRouter(num_shards, replicas=replicas)
+        self.auditor = auditor if auditor is not None else StalenessAuditor()
+        self.counters = Counter()
+
+        databases = [Database(clock=self.clock) for _ in range(num_shards)]
+        if dataset is not None:
+            self._load_dataset(databases, dataset, create_indexes)
+
+        self.shards: List[QuaestorShard] = [
+            QuaestorShard(
+                shard_id=shard_id,
+                database=database,
+                server=QuaestorServer(
+                    database,
+                    config=self.config,
+                    invalidb=InvaliDBCluster(matching_nodes=matching_nodes),
+                    auditor=self.auditor,
+                ),
+            )
+            for shard_id, database in enumerate(databases)
+        ]
+        self.metrics = ClusterMetrics(self)
+
+    # -- construction helpers ---------------------------------------------------------
+
+    def _load_dataset(
+        self, databases: List[Database], dataset: Dataset, create_indexes: bool
+    ) -> None:
+        """Pre-load ``dataset``, routing every document to its owning shard."""
+        for table in dataset.tables:
+            # Every shard materialises every collection so scatter queries and
+            # later inserts never hit a missing-collection error.
+            for database in databases:
+                collection = database.create_collection(table)
+                if create_indexes:
+                    collection.create_index(INDEXED_QUERY_FIELD)
+            for document in dataset.documents[table]:
+                shard_id = self.router.shard_for_record(table, str(document["_id"]))
+                databases[shard_id].collection(table).insert(document)
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    def shard_for_record(self, collection: str, document_id: str) -> QuaestorShard:
+        """The shard owning ``collection/document_id``."""
+        return self.shards[self.router.shard_for_record(collection, document_id)]
+
+    # -- fleet-wide wiring --------------------------------------------------------------
+
+    def register_purge_target(self, target: PurgeTarget) -> None:
+        """Register a purge target (e.g. the shared CDN) with every shard."""
+        for shard in self.shards:
+            shard.server.register_purge_target(target)
+
+    def add_invalidation_hook(self, hook: InvalidationHook) -> None:
+        for shard in self.shards:
+            shard.server.add_invalidation_hook(hook)
+
+    def bloom_filter(self) -> BloomFilter:
+        """Union of every shard's flat EBF snapshot (one client-facing filter).
+
+        All shards share the same filter geometry (one config), so the union
+        is a plain bitwise OR; a key invalidated on *any* shard flags the
+        merged cached result as potentially stale.
+        """
+        self.counters.increment("ebf_downloads")
+        now = self.clock.now()
+        merged = self.shards[0].server.ebf.to_flat(now)
+        for shard in self.shards[1:]:
+            merged = merged.union(shard.server.ebf.to_flat(now))
+        return merged
+
+    # -- read path -----------------------------------------------------------------------
+
+    def read(self, collection: str, document_id: str) -> Response:
+        """Route a record read to its owning shard.
+
+        Collections are materialised on every shard at insert/load time, so
+        the hot path needs no existence scan; a read of a collection that was
+        never created raises like on a single server.
+        """
+        self.counters.increment("reads")
+        shard_id = self.router.record_read(collection, document_id)
+        return self.shards[shard_id].server.handle_read(collection, document_id)
+
+    def query(self, query: Query) -> Response:
+        """Scatter ``query`` over every shard and merge the sub-results.
+
+        Collections are materialised on every shard at insert/load time, so
+        no existence scan is needed here; querying a collection that was
+        never created raises from the first shard, like on a single server.
+        """
+        self.counters.increment("scatter_queries")
+        now = self.clock.now()
+        scatter = self._scatter_query(query)
+        responses = [shard.server.handle_shard_query(query, scatter) for shard in self.shards]
+        return self._merge_query_responses(query, responses, now)
+
+    def _scatter_query(self, query: Query) -> Query:
+        """The per-shard fetch window covering the global result window.
+
+        Each shard must return its top ``offset + limit`` candidates (in the
+        global sort order) so that the merged, re-sorted stream provably
+        contains the global window regardless of how matches are distributed.
+        """
+        if query.limit is None and query.offset == 0:
+            return query
+        fetch_limit = None if query.limit is None else query.limit + query.offset
+        return Query(query.collection, query.criteria, sort=query.sort, limit=fetch_limit)
+
+    def _merge_query_responses(
+        self, query: Query, responses: Sequence[Response], now: float
+    ) -> Response:
+        documents: List[Document] = []
+        versions: Dict[str, int] = {}
+        for response in responses:
+            body = response.body or {}
+            documents.extend(body.get("documents", []))
+            versions.update(body.get("record_versions", {}))
+
+        # The same sort/window code path a single-node find() takes, applied
+        # to the concatenated shard sub-results -- identical by construction.
+        documents = apply_sort_and_window(documents, query)
+
+        window_versions = {
+            str(document["_id"]): versions.get(str(document["_id"]), 0)
+            for document in documents
+        }
+        etag = etag_for({"ids": sorted(window_versions), "versions": window_versions})
+        self.auditor.record_version(query.cache_key, etag, now)
+
+        # Min-TTL wins: the merged entry may only live as long as every shard
+        # sub-result vouches for.  One uncacheable sub-result (capacity
+        # rejection, caching disabled) makes the whole merge uncacheable.
+        ttl = min(response.ttl_for(shared=False) for response in responses)
+        shared_ttl = min(response.ttl_for(shared=True) for response in responses)
+        cacheable = all(response.is_cacheable for response in responses) and ttl > 0
+
+        if not cacheable:
+            self.counters.increment("scatter_queries_uncacheable")
+            body = object_list_body(documents, window_versions, record_ttl=0.0)
+            merged = Response.uncacheable(body)
+            merged.etag = etag
+            return merged
+
+        representation = choose_representation(
+            result_size=len(documents),
+            assumed_record_hit_rate=self.config.assumed_record_hit_rate,
+            object_list_max_size=self.config.object_list_max_size,
+        )
+        if representation is ResultRepresentation.OBJECT_LIST:
+            body = object_list_body(documents, window_versions, record_ttl=ttl)
+        else:
+            body = {
+                "representation": ResultRepresentation.ID_LIST.value,
+                "ids": [str(document["_id"]) for document in documents],
+            }
+        return Response.ok(body, ttl=ttl, shared_ttl=shared_ttl, etag=etag)
+
+    # -- write path -----------------------------------------------------------------------
+
+    def insert(self, collection: str, document: Document) -> Response:
+        self.counters.increment("writes")
+        # Inserting is what brings a collection into existence; materialise it
+        # everywhere so scatter queries see a consistent schema.
+        for shard in self.shards:
+            shard.database.create_collection(collection)
+        shard_id = self.router.record_write(collection, str(document.get("_id", "")))
+        return self.shards[shard_id].server.handle_insert(collection, document)
+
+    def update(self, collection: str, document_id: str, update: Document) -> Response:
+        self.counters.increment("writes")
+        shard_id = self.router.record_write(collection, document_id)
+        return self.shards[shard_id].server.handle_update(collection, document_id, update)
+
+    def delete(self, collection: str, document_id: str) -> Response:
+        self.counters.increment("writes")
+        shard_id = self.router.record_write(collection, document_id)
+        return self.shards[shard_id].server.handle_delete(collection, document_id)
+
+    def write_batch(self, operations: Sequence[Operation]) -> List[Response]:
+        """Apply a write batch: group by owning shard, one invalidation pump each.
+
+        Responses are returned in the caller's operation order.
+        """
+        # Validate and group first: a rejected batch must not leave empty
+        # collections or counter increments behind.
+        grouped = self.router.group_writes(operations)
+        self.counters.increment("write_batches")
+        # Batched inserts materialise their collections fleet-wide, exactly
+        # like insert(): scatter queries and routed reads rely on every
+        # collection existing on every shard.
+        for name in {
+            operation.collection
+            for operation in operations
+            if operation.type == OperationType.INSERT
+        }:
+            for shard in self.shards:
+                shard.database.create_collection(name)
+        responses: List[Optional[Response]] = [None] * len(operations)
+        for shard_id, indexed_operations in sorted(grouped.items()):
+            self.router.record_writes_at(shard_id, count=len(indexed_operations))
+            batch = [operation for _index, operation in indexed_operations]
+            shard_responses = self.shards[shard_id].server.handle_write_batch(batch)
+            for (index, _operation), response in zip(indexed_operations, shard_responses):
+                responses[index] = response
+        return list(responses)
+
+    # -- statistics -----------------------------------------------------------------------
+
+    def statistics(self) -> Dict[str, float]:
+        """Cluster-wide aggregated statistics (see :class:`ClusterMetrics`)."""
+        return self.metrics.statistics()
+
+    def __repr__(self) -> str:
+        return f"QuaestorCluster(num_shards={self.num_shards})"

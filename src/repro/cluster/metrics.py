@@ -1,0 +1,69 @@
+"""Cluster-wide metrics: aggregating per-shard server statistics.
+
+Every shard's :meth:`~repro.core.QuaestorServer.statistics` snapshot is a flat
+mapping of numeric counters.  :func:`aggregate_statistics` sums them into one
+cluster-wide view; :class:`ClusterMetrics` binds that aggregation to a live
+:class:`~repro.cluster.deployment.QuaestorCluster` and adds routing-level
+indicators (shard count, placement imbalance, router counters).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Mapping, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (deployment imports us)
+    from repro.cluster.deployment import QuaestorCluster
+
+
+def aggregate_statistics(snapshots: Sequence[Mapping[str, float]]) -> Dict[str, float]:
+    """Sum numeric per-shard statistics into one cluster-wide snapshot.
+
+    Non-numeric values are skipped; missing keys count as zero, so shards
+    whose counters diverge (e.g. only one shard ever rejected a query) still
+    aggregate cleanly.
+    """
+    merged: Dict[str, float] = {}
+    for snapshot in snapshots:
+        for key, value in snapshot.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            merged[key] = merged.get(key, 0) + value
+    return merged
+
+
+class ClusterMetrics:
+    """Aggregated view over a cluster's shards and its router."""
+
+    def __init__(self, cluster: "QuaestorCluster") -> None:
+        self._cluster = cluster
+
+    def per_shard_statistics(self) -> Dict[int, Dict[str, float]]:
+        """Each shard's raw server statistics, keyed by shard id."""
+        return {
+            shard.shard_id: shard.server.statistics() for shard in self._cluster.shards
+        }
+
+    def statistics(self) -> Dict[str, float]:
+        """One flat cluster-wide snapshot: summed counters + routing indicators.
+
+        Facade-level counters share names with per-shard ones (a batched
+        write increments the shards' ``writes`` but only the facade's
+        ``write_batches``), so they are namespaced under ``cluster_`` instead
+        of overwriting the shard sums.
+        """
+        snapshot = aggregate_statistics(list(self.per_shard_statistics().values()))
+        for name, value in self._cluster.counters.as_dict().items():
+            snapshot[f"cluster_{name}"] = value
+        snapshot["shards"] = self._cluster.num_shards
+        snapshot["routing_imbalance"] = self._cluster.router.imbalance()
+        return snapshot
+
+    def imbalance(self) -> float:
+        """Max/mean routed-operation ratio across shards (1.0 = balanced)."""
+        return self._cluster.router.imbalance()
+
+    def __repr__(self) -> str:
+        return (
+            f"ClusterMetrics(shards={self._cluster.num_shards}, "
+            f"imbalance={self.imbalance():.3f})"
+        )

@@ -11,6 +11,7 @@ query using a cost model that weighs fewer invalidations (id-lists ignore pure
 from __future__ import annotations
 
 import enum
+from typing import Any, Dict, List
 
 
 class ResultRepresentation(str, enum.Enum):
@@ -18,6 +19,24 @@ class ResultRepresentation(str, enum.Enum):
 
     ID_LIST = "id-list"
     OBJECT_LIST = "object-list"
+
+
+def object_list_body(
+    documents: List[Dict[str, Any]], versions: Dict[str, int], record_ttl: float
+) -> Dict[str, Any]:
+    """The wire body of an object-list query response.
+
+    One shared builder: the single server and the cluster's scatter/gather
+    merge both emit this shape, and the client SDK reads it -- a field added
+    here is immediately consistent everywhere.
+    """
+    return {
+        "representation": ResultRepresentation.OBJECT_LIST.value,
+        "ids": [str(document["_id"]) for document in documents],
+        "documents": documents,
+        "record_versions": versions,
+        "record_ttl": record_ttl,
+    }
 
 
 def choose_representation(

@@ -5,11 +5,40 @@ every cacheable response it estimates a TTL, reports the read to the Expiring
 Bloom Filter (so a later invalidation within the TTL can be tracked), registers
 queries in InvaliDB and reacts to invalidation notifications by adding the
 stale keys to the EBF and purging invalidation-based caches.
+
+Public entry points
+-------------------
+* :meth:`QuaestorServer.handle_read`, :meth:`QuaestorServer.handle_query` --
+  the cacheable read path (TTL estimation, EBF reporting, InvaliDB
+  registration, id-list/object-list representation choice).
+* :meth:`QuaestorServer.handle_insert`, :meth:`QuaestorServer.handle_update`,
+  :meth:`QuaestorServer.handle_delete` -- the write path; every acknowledged
+  write flows through the change stream into the invalidation machinery.
+* :meth:`QuaestorServer.get_bloom_filter` -- the flat EBF snapshot
+  piggybacked to connecting clients.
+* :meth:`QuaestorServer.execute` -- dispatch of workload operations
+  (simulators, examples).
+
+Cluster integration points
+--------------------------
+A sharded deployment (:mod:`repro.cluster`) runs one ``QuaestorServer`` per
+shard and talks to it through two additional entry points:
+
+* :meth:`QuaestorServer.handle_shard_query` -- executes a query against this
+  shard's local data and returns the raw documents (never an id-list), while
+  still performing all per-shard bookkeeping (TTL estimate, EBF report,
+  InvaliDB registration) under the *original* query's cache key.  The
+  :class:`~repro.cluster.QuaestorCluster` merges these shard results and
+  chooses the client-facing representation itself.
+* :meth:`QuaestorServer.handle_write_batch` -- applies a batch of routed
+  writes, pumping the InvaliDB notification queues once per batch instead of
+  once per write (batched write propagation).
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Union
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Union
 
 from repro.bloom.bloom_filter import BloomFilter
 from repro.bloom.expiring import ExpiringBloomFilter
@@ -17,7 +46,11 @@ from repro.caching.invalidation import InvalidationCache
 from repro.clock import Clock
 from repro.core.active_list import ActiveList
 from repro.core.config import QuaestorConfig
-from repro.core.representation import ResultRepresentation, choose_representation
+from repro.core.representation import (
+    ResultRepresentation,
+    choose_representation,
+    object_list_body,
+)
 from repro.db.changestream import ChangeEvent, OperationType
 from repro.db.database import Database
 from repro.db.documents import Document
@@ -32,7 +65,7 @@ from repro.rest.etags import etag_for, etag_for_version
 from repro.rest.messages import Response, StatusCode
 from repro.ttl.base import TTLEstimator
 from repro.ttl.estimator import QuaestorTTLEstimator
-from repro.workloads.operations import Operation
+from repro.workloads.operations import Operation, dispatch_operation
 from repro.workloads.operations import OperationType as WorkloadOperationType
 
 #: A purge target is either an invalidation-based cache or a callable taking
@@ -95,6 +128,7 @@ class QuaestorServer:
 
         self._purge_targets: List[PurgeTarget] = []
         self._invalidation_hooks: List[InvalidationHook] = []
+        self._defer_pump = False
 
         # Every acknowledged write flows through the change stream into the
         # invalidation machinery.
@@ -206,6 +240,65 @@ class QuaestorServer:
             }
         return Response.ok(body, ttl=ttl, shared_ttl=shared_ttl, etag=etag)
 
+    def handle_shard_query(self, query: Query, scatter_query: Optional[Query] = None) -> Response:
+        """Cluster integration point: serve ``query`` from this shard's local data.
+
+        Unlike :meth:`handle_query`, the response body always carries the full
+        local documents (plus their versions); the cluster router merges the
+        shard results, applies the global sort/window and only then chooses
+        the client-facing representation.  All per-shard bookkeeping -- TTL
+        estimation, capacity admission, InvaliDB registration, EBF reporting
+        -- happens here under the *original* query's cache key, so an
+        invalidation on any shard flags the merged cached result.
+
+        Parameters
+        ----------
+        query:
+            The client's original query; its ``cache_key`` is the key under
+            which the merged result is cached everywhere.
+        scatter_query:
+            The per-shard fetch window (typically the original query with
+            ``limit + offset`` as limit and no offset, so the global window
+            can be cut after the merge).  Defaults to ``query`` itself.
+        """
+        self.counters.increment("shard_queries")
+        now = self.now()
+        fetch = scatter_query if scatter_query is not None else query
+        documents = self.database.find(fetch)
+        versions = self._result_versions(query.collection, documents)
+        body = {"documents": documents, "record_versions": versions}
+
+        if not self.config.cache_queries:
+            return Response.uncacheable(body)
+        if not self.capacity.admit(query.cache_key, result_size=len(documents)):
+            self.counters.increment("queries_uncacheable")
+            return Response.uncacheable(body)
+
+        member_keys = [record_key(query.collection, doc_id) for doc_id in versions]
+        ttl = self.ttl_estimator.estimate_query(query.cache_key, member_keys, now)
+        # Register the window this shard actually serves (the scatter window,
+        # offset 0), aliased to the original cache key: with the client's
+        # offset applied shard-locally, documents in the global window whose
+        # local rank lies below the offset would never trigger notifications.
+        if scatter_query is not None and scatter_query is not query:
+            self._register_in_invalidb(scatter_query.aliased(query.cache_key))
+        else:
+            self._register_in_invalidb(query)
+        # Shard results are merged before the representation is chosen, so the
+        # conservative OBJECT_LIST entry makes every notification invalidate.
+        self.active_list.record_read(
+            query, now, ttl, len(documents), ResultRepresentation.OBJECT_LIST
+        )
+        self.capacity.record_read(query.cache_key, len(documents))
+        shared_ttl = ttl * self.config.cdn_ttl_factor
+        self.ebf.report_read(query.cache_key, shared_ttl, now)
+        # The cluster may serve the merged result as an object-list, in which
+        # case member records become client-cacheable; tracking them here is
+        # conservative (extra EBF entries can only cause false revalidations).
+        for member_key in member_keys:
+            self.ebf.report_read(member_key, ttl, now)
+        return Response.ok(body, ttl=ttl, shared_ttl=shared_ttl)
+
     # -- write path --------------------------------------------------------------------------
 
     def handle_insert(self, collection: str, document: Document) -> Response:
@@ -235,19 +328,41 @@ class QuaestorServer:
 
     def execute(self, operation: Operation) -> Response:
         """Execute a workload operation (dispatch helper for simulators/examples)."""
-        if operation.type == WorkloadOperationType.READ:
-            return self.handle_read(operation.collection, operation.document_id)
-        if operation.type == WorkloadOperationType.QUERY:
-            return self.handle_query(operation.query)
-        if operation.type == WorkloadOperationType.INSERT:
-            return self.handle_insert(operation.collection, operation.payload)
-        if operation.type == WorkloadOperationType.UPDATE:
-            return self.handle_update(
-                operation.collection, operation.document_id, operation.payload
-            )
-        if operation.type == WorkloadOperationType.DELETE:
-            return self.handle_delete(operation.collection, operation.document_id)
-        raise ValueError(f"unsupported operation type: {operation.type}")
+        return dispatch_operation(self, operation)
+
+    def handle_write_batch(self, operations: Sequence[Operation]) -> List[Response]:
+        """Cluster integration point: apply routed writes with one invalidation pump.
+
+        The cluster router groups a write batch by owning shard and hands each
+        shard its slice through this method.  Every write still flows through
+        the change stream individually (records are invalidated immediately),
+        but the InvaliDB notification queues are pumped once at the end of the
+        batch instead of once per write -- the batched write propagation that
+        makes high write throughput affordable.
+        """
+        for operation in operations:
+            if operation.type not in (
+                WorkloadOperationType.INSERT,
+                WorkloadOperationType.UPDATE,
+                WorkloadOperationType.DELETE,
+            ):
+                raise ValueError(f"write batches only accept writes, got {operation.type}")
+        self.counters.increment("write_batches")
+        responses: List[Response] = []
+        with self._deferred_invalidations():
+            for operation in operations:
+                responses.append(self.execute(operation))
+        return responses
+
+    @contextmanager
+    def _deferred_invalidations(self) -> Iterator[None]:
+        """Suspend notification pumping inside the block, pump once on exit."""
+        self._defer_pump = True
+        try:
+            yield
+        finally:
+            self._defer_pump = False
+            self._process_invalidations()
 
     # -- transactions ----------------------------------------------------------------------------
 
@@ -282,6 +397,9 @@ class QuaestorServer:
 
     def _process_invalidations(self) -> None:
         """Pump the InvaliDB queues and handle resulting notifications."""
+        if self._defer_pump:
+            # Inside a write batch: notifications are drained once at the end.
+            return
         for notification in self.frontend.pump():
             self._handle_notification(notification)
 
@@ -359,13 +477,7 @@ class QuaestorServer:
     def _object_list_body(
         self, documents: List[Document], versions: Dict[str, int], record_ttl: float
     ) -> Dict[str, Any]:
-        return {
-            "representation": ResultRepresentation.OBJECT_LIST.value,
-            "ids": [str(document["_id"]) for document in documents],
-            "documents": documents,
-            "record_versions": versions,
-            "record_ttl": record_ttl,
-        }
+        return object_list_body(documents, versions, record_ttl)
 
     # -- statistics -----------------------------------------------------------------------------------
 

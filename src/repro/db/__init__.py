@@ -25,7 +25,7 @@ from repro.db.database import Database
 from repro.db.documents import Document, get_path, set_path
 from repro.db.predicates import matches
 from repro.db.query import Query
-from repro.db.sharding import HashSharder
+from repro.db.sharding import ConsistentHashRing, HashSharder
 from repro.db.updates import apply_update
 
 __all__ = [
@@ -39,6 +39,7 @@ __all__ = [
     "set_path",
     "matches",
     "Query",
+    "ConsistentHashRing",
     "HashSharder",
     "apply_update",
 ]

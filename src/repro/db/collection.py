@@ -6,9 +6,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.clock import Clock
 from repro.db.changestream import ChangeEvent, ChangeStream, OperationType
-from repro.db.documents import Document, deep_copy, sort_key
+from repro.db.documents import Document, deep_copy
 from repro.db.indexes import IndexSet
-from repro.db.query import Query
+from repro.db.query import Query, apply_sort_and_window
 from repro.db.updates import apply_update
 from repro.errors import DocumentNotFoundError, DuplicateKeyError, InvalidQueryError
 
@@ -142,14 +142,7 @@ class Collection:
                 if document_id in self._documents
             )
         matching = [document for document in candidates if query.matches(document)]
-        if query.sort:
-            matching.sort(key=lambda document: sort_key(document, list(query.sort)))
-        else:
-            matching.sort(key=lambda document: str(document.get("_id", "")))
-        if query.offset:
-            matching = matching[query.offset:]
-        if query.limit is not None:
-            matching = matching[: query.limit]
+        matching = apply_sort_and_window(matching, query)
         return [deep_copy(document) for document in matching]
 
     def count(self, query: Optional[Query] = None) -> int:

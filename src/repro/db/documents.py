@@ -10,7 +10,7 @@ matcher and the update operators.
 from __future__ import annotations
 
 import copy
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, List, Sequence, Tuple
 
 #: Type alias used throughout the database layer.
 Document = Dict[str, Any]
@@ -188,28 +188,47 @@ def _compare_sequences(left: Any, right: Any) -> int:
     return -1 if len(left) < len(right) else 1
 
 
+class _Wrapped:
+    """A sort-spec-aware comparison wrapper for one field value.
+
+    Defined at module level so wrappers produced by *different*
+    :func:`sort_key` calls compare equal on ties -- a prerequisite for tuple
+    keys to fall through to a tiebreaker element.
+    """
+
+    __slots__ = ("value", "direction")
+
+    def __init__(self, value: Any, direction: int) -> None:
+        self.value = value
+        self.direction = direction
+
+    def __lt__(self, other: "_Wrapped") -> bool:
+        return compare_values(self.value, other.value) * self.direction < 0
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, _Wrapped):
+            return NotImplemented
+        return compare_values(self.value, other.value) == 0
+
+
 def sort_key(document: Document, spec: List[Tuple[str, int]]) -> Tuple:
     """Build a comparable key for sorting ``document`` by ``spec``.
 
     ``spec`` is a list of ``(field, direction)`` pairs with direction ``1``
     (ascending) or ``-1`` (descending).
     """
-
-    class _Wrapped:
-        __slots__ = ("value", "direction")
-
-        def __init__(self, value: Any, direction: int) -> None:
-            self.value = value
-            self.direction = direction
-
-        def __lt__(self, other: "_Wrapped") -> bool:
-            return compare_values(self.value, other.value) * self.direction < 0
-
-        def __eq__(self, other: object) -> bool:
-            if not isinstance(other, _Wrapped):
-                return NotImplemented
-            return compare_values(self.value, other.value) == 0
-
     return tuple(
         _Wrapped(get_path(document, field), direction) for field, direction in spec
     )
+
+
+def total_sort_key(document: Document, spec: Sequence[Tuple[str, int]]) -> Tuple:
+    """A *total* order key: ``spec`` (possibly empty) with an ``_id`` tiebreak.
+
+    This is the one canonical result ordering.  Collections, the cluster's
+    scatter/gather merge and InvaliDB's stateful window maintenance must all
+    sort with this same key -- if any of them ordered tied documents
+    differently, served windows and invalidation windows would diverge and
+    tied-sort window changes could go un-invalidated.
+    """
+    return (sort_key(document, list(spec)), str(document.get("_id", "")))

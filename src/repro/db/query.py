@@ -12,7 +12,7 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.db.documents import Document
+from repro.db.documents import Document, total_sort_key
 from repro.db.predicates import SUPPORTED_OPERATORS, matches
 from repro.errors import InvalidQueryError, UnsupportedOperationError
 
@@ -106,6 +106,24 @@ class Query:
         }
         return "query:" + json.dumps(payload, sort_keys=True, separators=(",", ":"))
 
+    def aliased(self, cache_key: str) -> "Query":
+        """Copy of this query that reports ``cache_key`` as its canonical key.
+
+        Cluster integration point: a shard serves the *scatter window* of a
+        client query (``limit + offset`` candidates, no offset) but must
+        register it in InvaliDB under the original query's cache key, so that
+        notifications invalidate the merged cached result.
+        """
+        copy = Query(
+            self.collection,
+            self.criteria,
+            sort=self.sort,
+            limit=self.limit,
+            offset=self.offset,
+        )
+        object.__setattr__(copy, "_cache_key", cache_key)
+        return copy
+
     def to_url(self) -> str:
         """REST resource path for this query (what web caches key on)."""
         encoded = json.dumps(_canonical(self.criteria), sort_keys=True, separators=(",", ":"))
@@ -142,6 +160,25 @@ class Query:
 def record_key(collection: str, document_id: str) -> str:
     """Canonical EBF / cache key for an individual record."""
     return f"record:{collection}/{document_id}"
+
+
+def apply_sort_and_window(documents: List[Document], query: Query) -> List[Document]:
+    """Order ``documents`` by the query's sort spec and cut its result window.
+
+    The single place defining result ordering: collections apply it to their
+    local matches, and the cluster's scatter/gather merge applies it to the
+    concatenated shard sub-results, so both stay byte-identical by
+    construction.  Ties in the sort spec break by stringified primary key
+    (and without a sort spec that key orders the whole result): ordering must
+    not depend on insertion or shard-concatenation order, otherwise the same
+    LIMIT/OFFSET window would differ across deployment topologies.
+    """
+    ordered = sorted(documents, key=lambda document: total_sort_key(document, query.sort))
+    if query.offset:
+        ordered = ordered[query.offset :]
+    if query.limit is not None:
+        ordered = ordered[: query.limit]
+    return ordered
 
 
 def _canonical(value: Any) -> Any:

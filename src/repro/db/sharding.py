@@ -1,18 +1,29 @@
 """Hash sharding of documents over shard servers.
 
 The paper's MongoDB cluster shards documents through their hashed primary
-key.  The :class:`HashSharder` reproduces that placement function and tracks
-per-shard operation counts so benchmarks can model the write-throughput limit
-of the database tier (the bottleneck the paper identifies for write-heavy
-workloads).
+key.  This module provides the two placement functions used by the
+reproduction:
+
+* :class:`HashSharder` -- the modulo placement of the database tier.  Every
+  :class:`~repro.db.database.Database` owns one and uses it to track
+  per-shard operation counts, so benchmarks can model the write-throughput
+  limit of the database tier (the bottleneck the paper identifies for
+  write-heavy workloads).
+* :class:`ConsistentHashRing` -- a consistent-hash ring with virtual nodes.
+  This is the cluster integration point: the
+  :class:`~repro.cluster.ShardRouter` builds on it to place record keys onto
+  whole Quaestor deployments (shards), because a ring keeps almost all key
+  placements stable when shards are added or removed, which modulo placement
+  does not.
 """
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, Iterable, List, Tuple
 
-from repro.bloom.hashing import stable_uint64
+from repro.bloom.hashing import mixed_uint64, stable_uint64
 
 
 @dataclass
@@ -68,3 +79,75 @@ class HashSharder:
 
     def __repr__(self) -> str:
         return f"HashSharder(num_shards={self.num_shards}, imbalance={self.imbalance():.3f})"
+
+
+class ConsistentHashRing:
+    """A consistent-hash ring mapping string keys onto shard ids.
+
+    Each shard is represented by ``replicas`` virtual nodes (points on the
+    ring), which evens out the arc lengths owned by each shard.  A key is
+    placed on the first virtual node at or after its own hash position
+    (wrapping around), so adding or removing one shard only moves the keys
+    whose arcs that shard owned -- roughly ``1/num_shards`` of them -- while
+    every other placement stays stable.
+    """
+
+    def __init__(self, shard_ids: Iterable[int] = (), replicas: int = 64) -> None:
+        if replicas <= 0:
+            raise ValueError("replicas must be positive")
+        self.replicas = int(replicas)
+        self._shards: set = set()
+        #: Sorted ring points as ``(position, shard_id)`` pairs.
+        self._ring: List[Tuple[int, int]] = []
+        for shard_id in shard_ids:
+            self.add_shard(shard_id)
+
+    # -- membership -----------------------------------------------------------------
+
+    def add_shard(self, shard_id: int) -> None:
+        """Add ``shard_id``'s virtual nodes to the ring (idempotent)."""
+        if shard_id in self._shards:
+            return
+        self._shards.add(shard_id)
+        for replica in range(self.replicas):
+            position = mixed_uint64(f"shard:{shard_id}:vnode:{replica}")
+            bisect.insort(self._ring, (position, shard_id))
+
+    def remove_shard(self, shard_id: int) -> None:
+        """Remove ``shard_id`` from the ring; its keys move to the successors."""
+        if shard_id not in self._shards:
+            raise KeyError(f"shard {shard_id} is not on the ring")
+        self._shards.discard(shard_id)
+        self._ring = [(position, sid) for position, sid in self._ring if sid != shard_id]
+
+    def shard_ids(self) -> List[int]:
+        """All shard ids on the ring, sorted."""
+        return sorted(self._shards)
+
+    def __contains__(self, shard_id: int) -> bool:
+        return shard_id in self._shards
+
+    def __len__(self) -> int:
+        return len(self._shards)
+
+    # -- placement -------------------------------------------------------------------
+
+    def shard_for(self, key: str) -> int:
+        """The shard owning ``key``: first virtual node clockwise of its hash."""
+        if not self._ring:
+            raise ValueError("cannot place keys on an empty ring")
+        position = mixed_uint64(key)
+        index = bisect.bisect_left(self._ring, (position, -1))
+        if index == len(self._ring):
+            index = 0
+        return self._ring[index][1]
+
+    def distribution(self, keys: Iterable[str]) -> Dict[int, int]:
+        """Key counts per shard for ``keys`` (diagnostics and tests)."""
+        counts: Dict[int, int] = {shard_id: 0 for shard_id in self._shards}
+        for key in keys:
+            counts[self.shard_for(key)] += 1
+        return counts
+
+    def __repr__(self) -> str:
+        return f"ConsistentHashRing(shards={len(self._shards)}, replicas={self.replicas})"

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
-from repro.db.documents import Document, sort_key
+from repro.db.documents import Document, total_sort_key
 from repro.db.query import Query
 
 
@@ -74,10 +74,10 @@ class OrderedResultState:
 
     def _reorder(self) -> None:
         documents = list(self._documents.values())
-        if self.query.sort:
-            documents.sort(key=lambda doc: sort_key(doc, list(self.query.sort)))
-        else:
-            documents.sort(key=lambda doc: str(doc.get("_id", "")))
+        # The same total order the database serves (sort spec + _id
+        # tiebreak): a divergent tie order here would let window changes
+        # slip past window_diff un-notified.
+        documents.sort(key=lambda doc: total_sort_key(doc, self.query.sort))
         self._ordered_ids = [str(doc["_id"]) for doc in documents]
 
 

@@ -3,7 +3,11 @@
 The simulator builds a complete deployment (document database, Quaestor
 server, InvaliDB cluster, CDN, per-client browser caches), spawns a set of
 simulated client instances each holding many asynchronous connections, and
-advances a virtual clock through a discrete-event loop.  Every operation's
+advances a virtual clock through a discrete-event loop.  Setting
+``SimulationConfig.num_shards`` above one replaces the single server with a
+sharded :class:`~repro.cluster.QuaestorCluster` behind the
+:class:`~repro.cluster.ClusterClient` facade; each shard then acts as an
+independent origin with its own capacity.  Every operation's
 latency is derived from the cache level that answered it; throughput emerges
 from connection counts, latencies and two explicit capacity limits (client
 instances and the origin), matching the saturation behaviour of the paper's
@@ -82,13 +86,21 @@ class SimulationConfig:
     quaestor: QuaestorConfig = field(default_factory=QuaestorConfig)
     #: Requests per second one client instance can issue (client-tier limit).
     client_instance_capacity: float = 15_000.0
-    #: Requests per second the origin (DBaaS + database) can absorb.
+    #: Requests per second the origin (DBaaS + database) can absorb.  In a
+    #: sharded deployment this is *per shard*: every shard is an independent
+    #: origin server with its own capacity.
     origin_capacity: float = 15_000.0
+    #: Number of Quaestor shards.  ``1`` deploys the classic single server;
+    #: values above one deploy a :class:`~repro.cluster.QuaestorCluster`
+    #: behind the :class:`~repro.cluster.ClusterClient` facade.
+    num_shards: int = 1
     audit_staleness: bool = True
 
     def __post_init__(self) -> None:
         if self.num_clients <= 0 or self.connections_per_client <= 0:
             raise ConfigurationError("client and connection counts must be positive")
+        if self.num_shards <= 0:
+            raise ConfigurationError("num_shards must be positive")
         if self.duration <= 0:
             raise ConfigurationError("duration must be positive")
         if not 0.0 <= self.warmup_fraction < 1.0:
@@ -150,22 +162,39 @@ class Simulator:
         self.rng = random.Random(config.seed)
         config.topology.reseed(config.seed)
 
-        # --- substrate: database pre-loaded before the server subscribes. ---
-        self.database = Database(clock=self.clock)
+        # --- substrate + Quaestor deployment (single server or sharded fleet). ---
         self.dataset = dataset if dataset is not None else generate_dataset(config.dataset)
-        self.dataset.load_into(self.database)
-
-        # --- Quaestor deployment. ---
         quaestor_config = config.quaestor
         if config.mode is CachingMode.UNCACHED:
             quaestor_config = QuaestorConfig.uncached()
         self.auditor = StalenessAuditor()
-        self.server = QuaestorServer(
-            self.database,
-            config=quaestor_config,
-            invalidb=InvaliDBCluster(matching_nodes=config.matching_nodes),
-            auditor=self.auditor,
-        )
+        if config.num_shards > 1:
+            # Sharded deployment: the dataset is routed into per-shard
+            # databases before the shard servers subscribe, and the cluster
+            # facade stands in for the single server everywhere below.
+            from repro.cluster import ClusterClient, QuaestorCluster
+
+            self.cluster: Optional[QuaestorCluster] = QuaestorCluster(
+                num_shards=config.num_shards,
+                clock=self.clock,
+                config=quaestor_config,
+                matching_nodes=config.matching_nodes,
+                auditor=self.auditor,
+                dataset=self.dataset,
+            )
+            self.database: Optional[Database] = None
+            self.server = ClusterClient(self.cluster)
+        else:
+            self.cluster = None
+            # Database pre-loaded before the server subscribes.
+            self.database = Database(clock=self.clock)
+            self.dataset.load_into(self.database)
+            self.server = QuaestorServer(
+                self.database,
+                config=quaestor_config,
+                invalidb=InvaliDBCluster(matching_nodes=config.matching_nodes),
+                auditor=self.auditor,
+            )
 
         self.cdn: Optional[InvalidationCache] = None
         if config.mode.uses_cdn:
@@ -191,8 +220,11 @@ class Simulator:
         self.workload = WorkloadGenerator(config.workload, self.dataset)
 
         # --- capacity limits (token spacing per client instance and origin). ---
+        # Each shard is an independent origin server with its own capacity;
+        # the single-server deployment is the one-shard special case.
         self._client_next_slot = [0.0] * config.num_clients
-        self._origin_next_slot = 0.0
+        self._origin_next_slot = [0.0] * config.num_shards
+        self._extra_fetch_rr = 0
 
         # --- metrics. ---
         self.read_latency = Histogram("read")
@@ -305,40 +337,74 @@ class Simulator:
         topology = self.config.topology
         if operation.type == OperationType.QUERY:
             result = client.query(operation.query)
-            latency = self._read_path_latency(result.level)
+            latency = self._read_path_latency(result.level, result.key)
             for extra_level in result.extra_levels:
-                latency += self._read_path_latency(extra_level)
+                latency += self._read_path_latency(extra_level, None)
             return latency, "query", result.key, result.etag, result.level
 
         if operation.type == OperationType.READ:
             result = client.read(operation.collection, operation.document_id)
-            latency = self._read_path_latency(result.level)
+            latency = self._read_path_latency(result.level, result.key)
             return latency, "read", result.key, result.etag, result.level
 
-        # Writes always travel to the origin and pay its capacity constraint.
+        # Writes always travel to the origin (the owning shard) and pay its
+        # capacity constraint.
+        shard_index = self._shard_index_for_write(operation)
         if operation.type == OperationType.UPDATE:
             result = client.update(operation.collection, operation.document_id, operation.payload)
         elif operation.type == OperationType.INSERT:
             result = client.insert(operation.collection, operation.payload)
         else:
             result = client.delete(operation.collection, operation.document_id)
-        latency = topology.write_latency() + self._origin_wait()
+        latency = topology.write_latency() + self._origin_wait(shard_index)
         return latency, "write", result.key, None, "origin"
 
-    def _read_path_latency(self, level: str) -> float:
+    def _read_path_latency(self, level: str, key: Optional[str]) -> float:
         """Latency of a read/query answered at ``level`` plus origin queueing."""
         if level == SESSION_LEVEL:
             return 0.0
         latency = self.config.topology.read_latency(level if level != SESSION_LEVEL else "client")
         if level == "origin":
-            latency += self._origin_wait()
+            latency += self._origin_wait_for_key(key)
         return latency
 
-    def _origin_wait(self) -> float:
-        """Queueing delay at the origin: requests are spaced by its capacity."""
+    def _shard_index_for_write(self, operation: Operation) -> int:
+        """The shard whose origin capacity a write consumes.
+
+        Delegates to the router's operation placement so capacity accounting
+        always matches where the cluster actually lands the write (inserts
+        route by the payload's ``_id``).
+        """
+        if self.cluster is None:
+            return 0
+        return self.cluster.router.shard_for_operation(operation)
+
+    def _origin_wait_for_key(self, key: Optional[str]) -> float:
+        """Origin queueing for one request, routed by its cache key.
+
+        Record keys queue at their owning shard; query keys scatter over every
+        shard in parallel (the fan-out completes when the slowest shard
+        answers, but each shard's capacity is consumed).  Per-record fetches
+        assembling an id-list result carry no key here and are spread
+        round-robin, which matches their uniform hash placement in
+        expectation.
+        """
+        if self.cluster is None:
+            return self._origin_wait(0)
+        if key is None:
+            self._extra_fetch_rr = (self._extra_fetch_rr + 1) % self.config.num_shards
+            return self._origin_wait(self._extra_fetch_rr)
+        if key.startswith("record:"):
+            return self._origin_wait(self.cluster.router.shard_for_key(key))
+        return max(self._origin_wait(index) for index in range(self.config.num_shards))
+
+    def _origin_wait(self, shard_index: int) -> float:
+        """Queueing delay at one origin shard: requests spaced by its capacity."""
         now = self.clock.now()
-        wait = max(0.0, self._origin_next_slot - now)
-        self._origin_next_slot = max(now, self._origin_next_slot) + 1.0 / self.config.origin_capacity
+        wait = max(0.0, self._origin_next_slot[shard_index] - now)
+        self._origin_next_slot[shard_index] = (
+            max(now, self._origin_next_slot[shard_index]) + 1.0 / self.config.origin_capacity
+        )
         return wait
 
     def _record_metrics(self, op_class: str, latency: float) -> None:

@@ -17,6 +17,10 @@ from repro.db.database import Database
 from repro.db.documents import Document
 from repro.db.query import Query
 
+#: The indexed field every generated query selects on; anything loading the
+#: dataset (single database or per-shard routed load) indexes this field.
+INDEXED_QUERY_FIELD = "category"
+
 _TAG_POOL = (
     "example",
     "music",
@@ -82,7 +86,7 @@ class Dataset:
         for table in self.tables:
             collection = database.create_collection(table)
             if create_indexes:
-                collection.create_index("category")
+                collection.create_index(INDEXED_QUERY_FIELD)
             for document in self.documents[table]:
                 collection.insert(document)
 
