@@ -15,6 +15,14 @@ Cache-Control headers are merged with *min-TTL wins*: the merged result is
 only as cacheable as its least cacheable shard sub-result, so no cache ever
 holds the merged entry longer than any shard could vouch for.
 
+Capacity admission on the scatter path is **two-phase**: the cluster first
+*probes* every shard (:meth:`~repro.core.QuaestorServer.prepare_shard_query`,
+side-effect-free) and only when all shards admit commits the admission slots,
+InvaliDB registrations, active-list entries and EBF reports.  If any shard
+rejects, every prepared read is aborted -- no shard maintains bookkeeping for
+a merged result that is never cached, which is exactly the waste the old
+admit-then-discover-the-rejection sequence incurred.
+
 Writes route to the owning shard; batches are grouped per shard and applied
 through :meth:`~repro.core.QuaestorServer.handle_write_batch`, which pumps
 the invalidation queues once per batch (batched write propagation).
@@ -29,9 +37,9 @@ from repro.bloom.bloom_filter import BloomFilter
 from repro.clock import Clock, VirtualClock
 from repro.core.config import QuaestorConfig
 from repro.core.representation import (
-    ResultRepresentation,
     choose_representation,
     object_list_body,
+    query_result_body,
 )
 from repro.core.server import PurgeTarget, InvalidationHook, QuaestorServer
 from repro.db.database import Database
@@ -182,7 +190,12 @@ class QuaestorCluster:
         return self.shards[shard_id].server.handle_read(collection, document_id)
 
     def query(self, query: Query) -> Response:
-        """Scatter ``query`` over every shard and merge the sub-results.
+        """Scatter ``query`` over every shard with two-phase admission, then merge.
+
+        Phase one probes every shard without side effects; phase two commits
+        the admission slots and InvaliDB registrations only when *all* shards
+        admitted, and aborts them all otherwise (min-TTL-wins would make the
+        merge uncacheable anyway, so partial bookkeeping would be pure waste).
 
         Collections are materialised on every shard at insert/load time, so
         no existence scan is needed here; querying a collection that was
@@ -191,7 +204,15 @@ class QuaestorCluster:
         self.counters.increment("scatter_queries")
         now = self.clock.now()
         scatter = self._scatter_query(query)
-        responses = [shard.server.handle_shard_query(query, scatter) for shard in self.shards]
+        prepared = [shard.server.prepare_shard_query(query, scatter) for shard in self.shards]
+        if all(read.admitted for read in prepared):
+            responses = [read.commit() for read in prepared]
+        else:
+            if any(read.admitted for read in prepared):
+                # At least one probe succeeded but another shard rejected:
+                # the fleet-wide abort the two-phase protocol exists for.
+                self.counters.increment("scatter_queries_aborted")
+            responses = [read.abort() for read in prepared]
         return self._merge_query_responses(query, responses, now)
 
     def _scatter_query(self, query: Query) -> Query:
@@ -246,13 +267,7 @@ class QuaestorCluster:
             assumed_record_hit_rate=self.config.assumed_record_hit_rate,
             object_list_max_size=self.config.object_list_max_size,
         )
-        if representation is ResultRepresentation.OBJECT_LIST:
-            body = object_list_body(documents, window_versions, record_ttl=ttl)
-        else:
-            body = {
-                "representation": ResultRepresentation.ID_LIST.value,
-                "ids": [str(document["_id"]) for document in documents],
-            }
+        body = query_result_body(documents, window_versions, representation, record_ttl=ttl)
         return Response.ok(body, ttl=ttl, shared_ttl=shared_ttl, etag=etag)
 
     # -- write path -----------------------------------------------------------------------

@@ -56,7 +56,22 @@ class ClusterMetrics:
             snapshot[f"cluster_{name}"] = value
         snapshot["shards"] = self._cluster.num_shards
         snapshot["routing_imbalance"] = self._cluster.router.imbalance()
+        snapshot["scatter_abort_rate"] = self.scatter_abort_rate()
         return snapshot
+
+    def scatter_abort_rate(self) -> float:
+        """Fraction of scatter queries whose fleet-wide admission was aborted.
+
+        An abort means at least one shard's probe succeeded while another
+        shard rejected -- the wasted-registration scenario the two-phase
+        protocol turns into a cheap probe.  A persistently high rate signals
+        that per-shard capacity limits are mismatched across the fleet.
+        """
+        counters = self._cluster.counters
+        scatters = counters.get("scatter_queries")
+        if not scatters:
+            return 0.0
+        return counters.get("scatter_queries_aborted") / scatters
 
     def imbalance(self) -> float:
         """Max/mean routed-operation ratio across shards (1.0 = balanced)."""

@@ -7,9 +7,10 @@ and adds the pieces the cluster layer needs on top of raw placement:
   operations to the shard that owns them,
 * grouping of write batches by destination shard while remembering the
   original positions (so responses can be re-assembled in request order), and
-* per-shard routing statistics mirroring those of
-  :class:`~repro.db.sharding.HashSharder`, which the cluster metrics use to
-  report placement imbalance.
+* per-shard routing statistics kept in the shared
+  :class:`~repro.db.sharding.ShardStatisticsTable` -- the same helper the
+  database tier's :class:`~repro.db.sharding.HashSharder` uses -- which the
+  cluster metrics use to report placement imbalance.
 
 Queries do not route to a single shard -- their predicate may match documents
 anywhere -- so the router deliberately has no ``shard_for_query``; the cluster
@@ -22,7 +23,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Sequence, Tuple
 
 from repro.db.query import record_key
-from repro.db.sharding import ConsistentHashRing, ShardStatistics
+from repro.db.sharding import ConsistentHashRing, ShardStatistics, ShardStatisticsTable
 from repro.workloads.operations import Operation, OperationType
 
 #: Operation types that target exactly one record (and therefore one shard).
@@ -36,9 +37,7 @@ class ShardRouter:
         if num_shards <= 0:
             raise ValueError("num_shards must be positive")
         self.ring = ConsistentHashRing(range(num_shards), replicas=replicas)
-        self._statistics: Dict[int, ShardStatistics] = {
-            shard_id: ShardStatistics(shard_id) for shard_id in range(num_shards)
-        }
+        self._statistics = ShardStatisticsTable(range(num_shards))
 
     # -- membership ----------------------------------------------------------------
 
@@ -58,12 +57,12 @@ class ShardRouter:
         if shard_id in self.ring:
             return
         self.ring.add_shard(shard_id)
-        self._statistics[shard_id] = ShardStatistics(shard_id)
+        self._statistics.add_shard(shard_id)
 
     def remove_shard(self, shard_id: int) -> None:
         """Remove a shard from the ring; its keys move to ring successors."""
         self.ring.remove_shard(shard_id)
-        self._statistics.pop(shard_id, None)
+        self._statistics.remove_shard(shard_id)
 
     # -- placement ------------------------------------------------------------------
 
@@ -111,21 +110,21 @@ class ShardRouter:
 
     def record_read(self, collection: str, document_id: str) -> int:
         shard_id = self.shard_for_record(collection, document_id)
-        self._statistics[shard_id].reads += 1
+        self._statistics.record_read(shard_id)
         return shard_id
 
     def record_write(self, collection: str, document_id: str) -> int:
         shard_id = self.shard_for_record(collection, document_id)
-        self._statistics[shard_id].writes += 1
+        self._statistics.record_write(shard_id)
         return shard_id
 
     def record_writes_at(self, shard_id: int, count: int = 1) -> None:
         """Account ``count`` writes against an already-resolved shard."""
-        self._statistics[shard_id].writes += count
+        self._statistics.record_write(shard_id, count=count)
 
     def statistics(self) -> List[ShardStatistics]:
         """Per-shard routing counters for shards currently on the ring."""
-        return [self._statistics[shard_id] for shard_id in self.shard_ids()]
+        return self._statistics.statistics(self.shard_ids())
 
     def distribution(self, keys: Iterable[str]) -> Dict[int, int]:
         """Key counts per shard (uniformity diagnostics)."""
@@ -133,12 +132,7 @@ class ShardRouter:
 
     def imbalance(self) -> float:
         """Max/mean routed-operation ratio across shards (1.0 = balanced)."""
-        counts = [self._statistics[shard_id].operations for shard_id in self.shard_ids()]
-        total = sum(counts)
-        if total == 0 or not counts:
-            return 1.0
-        mean = total / len(counts)
-        return max(counts) / mean if mean else 1.0
+        return self._statistics.imbalance(self.shard_ids())
 
     def __repr__(self) -> str:
         return f"ShardRouter(num_shards={self.num_shards}, imbalance={self.imbalance():.3f})"

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from repro.core.config import QuaestorConfig
 from repro.core.active_list import ActiveList, ActiveQueryEntry
+from repro.core.read_path import PreparedShardRead, ReadContext, ReadPipeline
 from repro.core.representation import ResultRepresentation, choose_representation
 from repro.core.consistency import ConsistencyLevel
 from repro.core.server import QuaestorServer
@@ -22,6 +23,9 @@ __all__ = [
     "QuaestorConfig",
     "ActiveList",
     "ActiveQueryEntry",
+    "PreparedShardRead",
+    "ReadContext",
+    "ReadPipeline",
     "ResultRepresentation",
     "choose_representation",
     "ConsistencyLevel",

@@ -39,6 +39,26 @@ def object_list_body(
     }
 
 
+def query_result_body(
+    documents: List[Dict[str, Any]],
+    versions: Dict[str, int],
+    representation: "ResultRepresentation",
+    record_ttl: float,
+) -> Dict[str, Any]:
+    """The wire body of a query result in its chosen representation.
+
+    Object-lists carry the documents (client-cacheable for ``record_ttl``);
+    id-lists carry only the ids.  Shared by the single-server read pipeline
+    and the cluster's scatter/gather merge, so the two emit identical bodies.
+    """
+    if representation is ResultRepresentation.OBJECT_LIST:
+        return object_list_body(documents, versions, record_ttl=record_ttl)
+    return {
+        "representation": ResultRepresentation.ID_LIST.value,
+        "ids": [str(document["_id"]) for document in documents],
+    }
+
+
 def choose_representation(
     result_size: int,
     assumed_record_hit_rate: float,

@@ -1,16 +1,17 @@
 """The Quaestor server: a caching middleware in front of the document database.
 
-The server answers REST-style requests for records, queries and writes.  For
-every cacheable response it estimates a TTL, reports the read to the Expiring
-Bloom Filter (so a later invalidation within the TTL can be tracked), registers
-queries in InvaliDB and reacts to invalidation notifications by adding the
-stale keys to the EBF and purging invalidation-based caches.
+The server answers REST-style requests for records, queries and writes.  Every
+cacheable read walks the staged :class:`~repro.core.read_path.ReadPipeline`
+(execute, versions/etag, two-phase capacity admission, TTL estimation,
+representation choice, InvaliDB registration, active-list entry, EBF
+reporting) -- one shared implementation, so the single-server and the sharded
+read path cannot drift.  Writes flow through the change stream into the
+invalidation machinery.
 
 Public entry points
 -------------------
 * :meth:`QuaestorServer.handle_read`, :meth:`QuaestorServer.handle_query` --
-  the cacheable read path (TTL estimation, EBF reporting, InvaliDB
-  registration, id-list/object-list representation choice).
+  the cacheable read path, thin orchestrations over the read pipeline.
 * :meth:`QuaestorServer.handle_insert`, :meth:`QuaestorServer.handle_update`,
   :meth:`QuaestorServer.handle_delete` -- the write path; every acknowledged
   write flows through the change stream into the invalidation machinery.
@@ -22,14 +23,20 @@ Public entry points
 Cluster integration points
 --------------------------
 A sharded deployment (:mod:`repro.cluster`) runs one ``QuaestorServer`` per
-shard and talks to it through two additional entry points:
+shard and talks to it through these additional entry points:
 
-* :meth:`QuaestorServer.handle_shard_query` -- executes a query against this
-  shard's local data and returns the raw documents (never an id-list), while
-  still performing all per-shard bookkeeping (TTL estimate, EBF report,
-  InvaliDB registration) under the *original* query's cache key.  The
-  :class:`~repro.cluster.QuaestorCluster` merges these shard results and
-  chooses the client-facing representation itself.
+* :meth:`QuaestorServer.prepare_shard_query` -- phase one of the two-phase
+  scatter: executes the scatter window against this shard's local data and
+  *probes* capacity admission without side effects, returning a
+  :class:`~repro.core.read_path.PreparedShardRead`.  The
+  :class:`~repro.cluster.QuaestorCluster` probes every shard and only when
+  all admit redeems the prepared reads with ``commit()`` (admission slot,
+  InvaliDB registration, active-list entry, EBF report -- all under the
+  *original* query's cache key); otherwise it ``abort()``-s them all, so one
+  rejecting shard leaves zero new registrations anywhere (keys committed by
+  an earlier scatter keep theirs, so still-cached merges stay invalidatable).
+* :meth:`QuaestorServer.handle_shard_query` -- the single-call form
+  (prepare + immediate commit/abort) for direct callers.
 * :meth:`QuaestorServer.handle_write_batch` -- applies a batch of routed
   writes, pumping the InvaliDB notification queues once per batch instead of
   once per write (batched write propagation).
@@ -46,11 +53,8 @@ from repro.caching.invalidation import InvalidationCache
 from repro.clock import Clock
 from repro.core.active_list import ActiveList
 from repro.core.config import QuaestorConfig
-from repro.core.representation import (
-    ResultRepresentation,
-    choose_representation,
-    object_list_body,
-)
+from repro.core.read_path import PreparedShardRead, ReadPipeline
+from repro.core.representation import ResultRepresentation
 from repro.db.changestream import ChangeEvent, OperationType
 from repro.db.database import Database
 from repro.db.documents import Document
@@ -61,7 +65,7 @@ from repro.invalidb.cluster import InvaliDBCluster
 from repro.invalidb.events import Notification
 from repro.invalidb.ingestion import InvaliDBFrontend
 from repro.metrics.counters import Counter
-from repro.rest.etags import etag_for, etag_for_version
+from repro.rest.etags import etag_for_version
 from repro.rest.messages import Response, StatusCode
 from repro.ttl.base import TTLEstimator
 from repro.ttl.estimator import QuaestorTTLEstimator
@@ -125,6 +129,7 @@ class QuaestorServer:
 
         self.auditor = auditor if auditor is not None else StalenessAuditor()
         self.counters = Counter()
+        self.pipeline = ReadPipeline(self)
 
         self._purge_targets: List[PurgeTarget] = []
         self._invalidation_hooks: List[InvalidationHook] = []
@@ -163,93 +168,26 @@ class QuaestorServer:
     def handle_read(self, collection: str, document_id: str) -> Response:
         """Serve an individual record."""
         self.counters.increment("reads")
-        key = record_key(collection, document_id)
-        now = self.now()
-        try:
-            document = self.database.get(collection, document_id)
-            version = self.database.collection(collection).version(document_id)
-        except DocumentNotFoundError:
-            return Response.uncacheable(None, status=StatusCode.NOT_FOUND)
-
-        etag = etag_for_version(collection, document_id, version)
-        self.auditor.record_version(key, etag, now)
-
-        body = {"document": document, "version": version}
-        if not self.config.cache_records:
-            response = Response.uncacheable(body)
-            response.etag = etag
-            return response
-
-        ttl = self.ttl_estimator.estimate_record(key, now)
-        shared_ttl = ttl * self.config.cdn_ttl_factor
-        # The EBF must track the *highest* TTL issued to any cache (the CDN's
-        # s-maxage), otherwise a stale copy could outlive its EBF entry.
-        self.ebf.report_read(key, shared_ttl, now)
-        return Response.ok(body, ttl=ttl, shared_ttl=shared_ttl, etag=etag)
+        return self.pipeline.run_record_read(collection, document_id)
 
     def handle_query(self, query: Query) -> Response:
         """Serve a query result (object-list or id-list representation)."""
         self.counters.increment("queries")
-        now = self.now()
-        documents = self.database.find(query)
-        versions = self._result_versions(query.collection, documents)
-        etag = etag_for({"ids": sorted(versions), "versions": versions})
-        self.auditor.record_version(query.cache_key, etag, now)
+        return self.pipeline.run_query(query)
 
-        if not self.config.cache_queries:
-            body = self._object_list_body(documents, versions, record_ttl=0.0)
-            response = Response.uncacheable(body)
-            response.etag = etag
-            return response
+    def prepare_shard_query(
+        self, query: Query, scatter_query: Optional[Query] = None
+    ) -> PreparedShardRead:
+        """Cluster integration point, phase one: execute and *probe* admission.
 
-        admitted = self.capacity.admit(query.cache_key, result_size=len(documents))
-        if not admitted:
-            self.counters.increment("queries_uncacheable")
-            body = self._object_list_body(documents, versions, record_ttl=0.0)
-            response = Response.uncacheable(body)
-            response.etag = etag
-            return response
-
-        member_keys = [record_key(query.collection, doc_id) for doc_id in versions]
-        ttl = self.ttl_estimator.estimate_query(query.cache_key, member_keys, now)
-        representation = choose_representation(
-            result_size=len(documents),
-            assumed_record_hit_rate=self.config.assumed_record_hit_rate,
-            object_list_max_size=self.config.object_list_max_size,
-        )
-
-        self._register_in_invalidb(query)
-        self.active_list.record_read(query, now, ttl, len(documents), representation)
-        self.capacity.record_read(query.cache_key, len(documents))
-        shared_ttl = ttl * self.config.cdn_ttl_factor
-        # Track the highest TTL issued to any cache (the CDN's s-maxage), so
-        # that an invalidation keeps the query in the EBF for as long as any
-        # standards-compliant cache may still serve it.
-        self.ebf.report_read(query.cache_key, shared_ttl, now)
-
-        if representation is ResultRepresentation.OBJECT_LIST:
-            # Records delivered inside the result are cacheable client-side,
-            # so the EBF has to track them with the same TTL.
-            for member_key in member_keys:
-                self.ebf.report_read(member_key, ttl, now)
-            body = self._object_list_body(documents, versions, record_ttl=ttl)
-        else:
-            body = {
-                "representation": ResultRepresentation.ID_LIST.value,
-                "ids": [str(document["_id"]) for document in documents],
-            }
-        return Response.ok(body, ttl=ttl, shared_ttl=shared_ttl, etag=etag)
-
-    def handle_shard_query(self, query: Query, scatter_query: Optional[Query] = None) -> Response:
-        """Cluster integration point: serve ``query`` from this shard's local data.
-
-        Unlike :meth:`handle_query`, the response body always carries the full
-        local documents (plus their versions); the cluster router merges the
-        shard results, applies the global sort/window and only then chooses
-        the client-facing representation.  All per-shard bookkeeping -- TTL
-        estimation, capacity admission, InvaliDB registration, EBF reporting
-        -- happens here under the *original* query's cache key, so an
-        invalidation on any shard flags the merged cached result.
+        Runs the side-effect-free prefix of the read pipeline (scatter-window
+        execution + capacity probe) and returns a
+        :class:`~repro.core.read_path.PreparedShardRead`.  The cluster probes
+        every shard this way and then redeems each prepared read with exactly
+        one of ``commit()`` (all shards admitted: admission slot, InvaliDB
+        registration, active-list entry and EBF report are taken under the
+        *original* query's cache key) or ``abort()`` (no bookkeeping is
+        retained and the raw documents are returned uncacheable).
 
         Parameters
         ----------
@@ -262,42 +200,19 @@ class QuaestorServer:
             can be cut after the merge).  Defaults to ``query`` itself.
         """
         self.counters.increment("shard_queries")
-        now = self.now()
-        fetch = scatter_query if scatter_query is not None else query
-        documents = self.database.find(fetch)
-        versions = self._result_versions(query.collection, documents)
-        body = {"documents": documents, "record_versions": versions}
+        return self.pipeline.prepare_shard_query(query, scatter_query)
 
-        if not self.config.cache_queries:
-            return Response.uncacheable(body)
-        if not self.capacity.admit(query.cache_key, result_size=len(documents)):
-            self.counters.increment("queries_uncacheable")
-            return Response.uncacheable(body)
+    def handle_shard_query(self, query: Query, scatter_query: Optional[Query] = None) -> Response:
+        """Single-call shard query: :meth:`prepare_shard_query` + commit/abort.
 
-        member_keys = [record_key(query.collection, doc_id) for doc_id in versions]
-        ttl = self.ttl_estimator.estimate_query(query.cache_key, member_keys, now)
-        # Register the window this shard actually serves (the scatter window,
-        # offset 0), aliased to the original cache key: with the client's
-        # offset applied shard-locally, documents in the global window whose
-        # local rank lies below the offset would never trigger notifications.
-        if scatter_query is not None and scatter_query is not query:
-            self._register_in_invalidb(scatter_query.aliased(query.cache_key))
-        else:
-            self._register_in_invalidb(query)
-        # Shard results are merged before the representation is chosen, so the
-        # conservative OBJECT_LIST entry makes every notification invalidate.
-        self.active_list.record_read(
-            query, now, ttl, len(documents), ResultRepresentation.OBJECT_LIST
-        )
-        self.capacity.record_read(query.cache_key, len(documents))
-        shared_ttl = ttl * self.config.cdn_ttl_factor
-        self.ebf.report_read(query.cache_key, shared_ttl, now)
-        # The cluster may serve the merged result as an object-list, in which
-        # case member records become client-cacheable; tracking them here is
-        # conservative (extra EBF entries can only cause false revalidations).
-        for member_key in member_keys:
-            self.ebf.report_read(member_key, ttl, now)
-        return Response.ok(body, ttl=ttl, shared_ttl=shared_ttl)
+        The response body always carries the full local documents (plus their
+        versions); the cluster merges shard results, applies the global
+        sort/window and only then chooses the client-facing representation.
+        """
+        prepared = self.prepare_shard_query(query, scatter_query)
+        if prepared.admitted:
+            return prepared.commit()
+        return prepared.abort()
 
     # -- write path --------------------------------------------------------------------------
 
@@ -444,7 +359,8 @@ class QuaestorServer:
 
     # -- helpers -------------------------------------------------------------------------------------
 
-    def _register_in_invalidb(self, query: Query) -> None:
+    def register_in_invalidb(self, query: Query) -> None:
+        """Start InvaliDB matching for ``query`` (idempotent per cache key)."""
         if self.invalidb.is_registered(query.cache_key):
             return
         # Stateful queries need the full (unwindowed) matching set so that
@@ -459,7 +375,8 @@ class QuaestorServer:
             self._handle_notification(notification)
         self.counters.increment("queries_registered")
 
-    def _result_versions(self, collection: str, documents: List[Document]) -> Dict[str, int]:
+    def result_versions(self, collection: str, documents: List[Document]) -> Dict[str, int]:
+        """The current version of every document in a query result."""
         store = self.database.collection(collection)
         versions: Dict[str, int] = {}
         for document in documents:
@@ -474,19 +391,25 @@ class QuaestorServer:
         except DocumentNotFoundError:
             return 0
 
-    def _object_list_body(
-        self, documents: List[Document], versions: Dict[str, int], record_ttl: float
-    ) -> Dict[str, Any]:
-        return object_list_body(documents, versions, record_ttl)
-
     # -- statistics -----------------------------------------------------------------------------------
 
     def statistics(self) -> Dict[str, Any]:
-        """A merged statistics snapshot (server counters + EBF + InvaliDB)."""
+        """A merged statistics snapshot (server counters + EBF + InvaliDB).
+
+        The ``admission_*`` counters expose the two-phase admission outcome:
+        probes that found room, commits that took the slot, and aborts --
+        successful probes discarded because another shard of the fleet
+        rejected the scatter (the wasted-registration work the two-phase
+        protocol avoids).
+        """
         snapshot: Dict[str, Any] = dict(self.counters.as_dict())
         snapshot["active_queries"] = len(self.active_list)
         snapshot["invalidb_active_queries"] = self.invalidb.active_queries
         snapshot["ebf_stale_keys"] = len(self.ebf)
+        snapshot["admission_probes"] = self.capacity.probes
+        snapshot["admission_commits"] = self.capacity.commits
+        snapshot["admission_aborts"] = self.capacity.aborts
+        snapshot["admission_rejections"] = self.capacity.rejections
         return snapshot
 
     def __repr__(self) -> str:

@@ -157,5 +157,5 @@ class Transaction:
 
     def _current_query_etag(self, query: Query) -> str:
         documents = self._server.database.find(query)
-        versions = self._server._result_versions(query.collection, documents)
+        versions = self._server.result_versions(query.collection, documents)
         return etag_for({"ids": sorted(versions), "versions": versions})

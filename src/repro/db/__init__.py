@@ -25,7 +25,7 @@ from repro.db.database import Database
 from repro.db.documents import Document, get_path, set_path
 from repro.db.predicates import matches
 from repro.db.query import Query
-from repro.db.sharding import ConsistentHashRing, HashSharder
+from repro.db.sharding import ConsistentHashRing, HashSharder, ShardStatisticsTable
 from repro.db.updates import apply_update
 
 __all__ = [
@@ -41,5 +41,6 @@ __all__ = [
     "Query",
     "ConsistentHashRing",
     "HashSharder",
+    "ShardStatisticsTable",
     "apply_update",
 ]

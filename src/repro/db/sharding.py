@@ -15,13 +15,18 @@ reproduction:
   whole Quaestor deployments (shards), because a ring keeps almost all key
   placements stable when shards are added or removed, which modulo placement
   does not.
+
+Both placement functions account their traffic in a shared
+:class:`ShardStatisticsTable` (per-shard read/write counters plus the
+max/mean imbalance ratio), so the database tier's and the cluster router's
+balance figures come from one implementation and cannot drift.
 """
 
 from __future__ import annotations
 
 import bisect
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.bloom.hashing import mixed_uint64, stable_uint64
 
@@ -39,6 +44,64 @@ class ShardStatistics:
         return self.reads + self.writes
 
 
+class ShardStatisticsTable:
+    """Per-shard operation counters with the max/mean imbalance ratio.
+
+    The single bookkeeping helper behind every placement function: the
+    database tier's :class:`HashSharder` and the cluster's
+    :class:`~repro.cluster.router.ShardRouter` both delegate their counters
+    and imbalance figures here, so the two metrics share one definition.
+    """
+
+    def __init__(self, shard_ids: Iterable[int] = ()) -> None:
+        self._statistics: Dict[int, ShardStatistics] = {}
+        for shard_id in shard_ids:
+            self.add_shard(shard_id)
+
+    def add_shard(self, shard_id: int) -> None:
+        """Start (or restart) tracking ``shard_id`` with fresh counters.
+
+        A re-added shard must not inherit pre-removal traffic: that would
+        skew the imbalance ratio against it.
+        """
+        self._statistics[shard_id] = ShardStatistics(shard_id)
+
+    def remove_shard(self, shard_id: int) -> None:
+        self._statistics.pop(shard_id, None)
+
+    def get(self, shard_id: int) -> ShardStatistics:
+        return self._statistics[shard_id]
+
+    def record_read(self, shard_id: int, count: int = 1) -> None:
+        self._statistics[shard_id].reads += count
+
+    def record_write(self, shard_id: int, count: int = 1) -> None:
+        self._statistics[shard_id].writes += count
+
+    def statistics(self, shard_ids: Optional[Iterable[int]] = None) -> List[ShardStatistics]:
+        """Counters for ``shard_ids`` (default: every tracked shard, ordered)."""
+        ids = list(shard_ids) if shard_ids is not None else sorted(self._statistics)
+        return [self._statistics[shard_id] for shard_id in ids]
+
+    def imbalance(self, shard_ids: Optional[Iterable[int]] = None) -> float:
+        """Max/mean operation ratio across shards (1.0 = perfectly balanced)."""
+        counts = [stats.operations for stats in self.statistics(shard_ids)]
+        total = sum(counts)
+        if total == 0 or not counts:
+            return 1.0
+        mean = total / len(counts)
+        return max(counts) / mean if mean else 1.0
+
+    def __len__(self) -> int:
+        return len(self._statistics)
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardStatisticsTable(shards={len(self._statistics)}, "
+            f"imbalance={self.imbalance():.3f})"
+        )
+
+
 class HashSharder:
     """Deterministic hash placement of primary keys onto ``num_shards`` shards."""
 
@@ -46,9 +109,7 @@ class HashSharder:
         if num_shards <= 0:
             raise ValueError("num_shards must be positive")
         self.num_shards = int(num_shards)
-        self._statistics: Dict[int, ShardStatistics] = {
-            shard_id: ShardStatistics(shard_id) for shard_id in range(self.num_shards)
-        }
+        self._table = ShardStatisticsTable(range(self.num_shards))
 
     def shard_for(self, collection: str, document_id: str) -> int:
         """The shard responsible for ``collection/document_id``."""
@@ -56,26 +117,21 @@ class HashSharder:
 
     def record_read(self, collection: str, document_id: str) -> int:
         shard_id = self.shard_for(collection, document_id)
-        self._statistics[shard_id].reads += 1
+        self._table.record_read(shard_id)
         return shard_id
 
     def record_write(self, collection: str, document_id: str) -> int:
         shard_id = self.shard_for(collection, document_id)
-        self._statistics[shard_id].writes += 1
+        self._table.record_write(shard_id)
         return shard_id
 
     def statistics(self) -> List[ShardStatistics]:
         """Per-shard counters, ordered by shard id."""
-        return [self._statistics[shard_id] for shard_id in range(self.num_shards)]
+        return self._table.statistics(range(self.num_shards))
 
     def imbalance(self) -> float:
         """Max/mean operation ratio across shards (1.0 = perfectly balanced)."""
-        counts = [stats.operations for stats in self._statistics.values()]
-        total = sum(counts)
-        if total == 0:
-            return 1.0
-        mean = total / self.num_shards
-        return max(counts) / mean if mean else 1.0
+        return self._table.imbalance()
 
     def __repr__(self) -> str:
         return f"HashSharder(num_shards={self.num_shards}, imbalance={self.imbalance():.3f})"

@@ -18,7 +18,7 @@ from repro.invalidb.events import Notification, NotificationType
 from repro.invalidb.matching import QueryMatchState
 from repro.invalidb.partitioning import PartitioningScheme
 from repro.invalidb.cluster import InvaliDBCluster, InvaliDBNode, NodeCapacityModel
-from repro.invalidb.capacity import CapacityManager, QueryCost
+from repro.invalidb.capacity import AdmissionTicket, CapacityManager, QueryCost
 
 __all__ = [
     "Notification",
@@ -28,6 +28,7 @@ __all__ = [
     "InvaliDBCluster",
     "InvaliDBNode",
     "NodeCapacityModel",
+    "AdmissionTicket",
     "CapacityManager",
     "QueryCost",
 ]

@@ -6,6 +6,16 @@ sufficiently cacheable and prioritises them by the cost of maintaining them
 (Section 4.1).  The cost model follows the paper's observation that Zipfian
 access patterns make a small set of "hot" queries sufficient for high cache
 hit rates.
+
+Admission is **two-phase**: :meth:`CapacityManager.probe` decides whether a
+query *would* be admitted without mutating the admitted set and returns an
+:class:`AdmissionTicket`; :meth:`CapacityManager.commit` applies the decision
+(taking the slot, displacing the victim) and :meth:`CapacityManager.abort`
+discards it.  A sharded deployment probes every shard first and only commits
+when all shards admit, so one rejecting shard no longer makes the others
+occupy slots and InvaliDB registrations for a merged result that is never
+cached.  The single-phase :meth:`CapacityManager.admit` remains as
+``probe`` + immediate ``commit``.
 """
 
 from __future__ import annotations
@@ -14,6 +24,23 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.invalidb.cluster import InvaliDBCluster
+
+
+@dataclass(frozen=True)
+class AdmissionTicket:
+    """The outcome of an admission probe, redeemable via commit/abort.
+
+    A ticket captures the decision *and* the displacement it implies: when the
+    admitted set is full, admitting the candidate means releasing
+    ``victim_key`` -- but the victim keeps its slot until the ticket is
+    committed, so an aborted probe leaves the admitted set untouched.
+    """
+
+    query_key: str
+    result_size: int
+    admitted: bool
+    already_admitted: bool = False
+    victim_key: Optional[str] = None
 
 
 @dataclass
@@ -65,6 +92,9 @@ class CapacityManager:
         self._costs: Dict[str, QueryCost] = {}
         self._admitted: Dict[str, QueryCost] = {}
         self.rejections = 0
+        self.probes = 0
+        self.commits = 0
+        self.aborts = 0
 
     # -- cost tracking --------------------------------------------------------------
 
@@ -105,34 +135,98 @@ class CapacityManager:
     def is_admitted(self, query_key: str) -> bool:
         return query_key in self._admitted
 
-    def admit(self, query_key: str, result_size: int = 0) -> bool:
-        """Decide whether ``query_key`` may be cached (and matched by InvaliDB).
+    def probe(self, query_key: str, result_size: int = 0) -> AdmissionTicket:
+        """Phase one: decide whether ``query_key`` *would* be admitted.
 
         Already admitted queries stay admitted.  When the configured limits
         are reached, the candidate must beat the lowest-scoring admitted query
-        to displace it; otherwise it is rejected and served uncached.
+        to displace it; otherwise it is rejected and served uncached.  Probing
+        never mutates the admitted set -- the slot is only taken (and the
+        victim only displaced) when the ticket is :meth:`commit`-ted.
         """
-        if query_key in self._admitted:
-            return True
+        self.probes += 1
         record = self.cost(query_key)
         record.result_size = result_size
 
-        limit = self.capacity_limit()
-        if self.max_active_queries is not None:
-            limit = min(limit, self.max_active_queries)
+        if query_key in self._admitted:
+            return AdmissionTicket(
+                query_key, result_size, admitted=True, already_admitted=True
+            )
 
-        if len(self._admitted) < limit:
-            self._admitted[query_key] = record
-            return True
+        if len(self._admitted) < self._effective_limit():
+            return AdmissionTicket(query_key, result_size, admitted=True)
 
         victim_key = self._lowest_scoring_admitted()
         if victim_key is not None and self._costs[victim_key].score < record.score:
-            self.release(victim_key)
-            self._admitted[query_key] = record
-            return True
+            return AdmissionTicket(
+                query_key, result_size, admitted=True, victim_key=victim_key
+            )
 
         self.rejections += 1
+        return AdmissionTicket(query_key, result_size, admitted=False)
+
+    def commit(self, ticket: AdmissionTicket) -> bool:
+        """Phase two: take the slot the probe decided on.
+
+        Displaces the ticket's victim (if it is still admitted) and enters the
+        query into the admitted set.  Committing a rejected ticket is a
+        programming error.
+
+        A ticket can go stale: if the free slot (or victim) the probe saw is
+        gone by commit time -- e.g. another query was admitted between the
+        phases -- the admission is re-arbitrated against the current lowest
+        scorer instead of blindly inserting, so the admitted set never
+        exceeds the capacity limit.  Returns ``False`` when the re-arbitration
+        rejects.
+        """
+        if not ticket.admitted:
+            raise ValueError(f"cannot commit a rejected ticket for {ticket.query_key}")
+        self.commits += 1
+        if ticket.query_key in self._admitted:
+            return True
+        record = self.cost(ticket.query_key)
+        if ticket.victim_key is not None and ticket.victim_key in self._admitted:
+            self.release(ticket.victim_key)
+            self._admitted[ticket.query_key] = record
+            return True
+        if len(self._admitted) < self._effective_limit():
+            self._admitted[ticket.query_key] = record
+            return True
+        victim_key = self._lowest_scoring_admitted()
+        if victim_key is not None and self._costs[victim_key].score < record.score:
+            self.release(victim_key)
+            self._admitted[ticket.query_key] = record
+            return True
+        self.rejections += 1
         return False
+
+    def abort(self, ticket: AdmissionTicket) -> None:
+        """Discard a probe without taking its slot.
+
+        Probing never mutated the admitted set, so there is nothing to undo;
+        aborts of would-be-admitted tickets are counted so the wasted-probe
+        rate (e.g. cluster scatter aborts) stays observable.
+        """
+        if ticket.admitted and not ticket.already_admitted:
+            self.aborts += 1
+
+    def admit(self, query_key: str, result_size: int = 0) -> bool:
+        """Single-phase admission: probe and immediately commit.
+
+        The single-server read path (and every pre-two-phase caller) keeps
+        this exact semantics; the cluster scatter path uses probe/commit
+        directly so it can abort between the phases.
+        """
+        ticket = self.probe(query_key, result_size=result_size)
+        if not ticket.admitted:
+            return False
+        return self.commit(ticket)
+
+    def _effective_limit(self) -> float:
+        limit = self.capacity_limit()
+        if self.max_active_queries is not None:
+            limit = min(limit, self.max_active_queries)
+        return limit
 
     def release(self, query_key: str) -> bool:
         """Remove a query from the admitted set (its cost history is kept)."""

@@ -363,7 +363,7 @@ class Simulator:
         """Latency of a read/query answered at ``level`` plus origin queueing."""
         if level == SESSION_LEVEL:
             return 0.0
-        latency = self.config.topology.read_latency(level if level != SESSION_LEVEL else "client")
+        latency = self.config.topology.read_latency(level)
         if level == "origin":
             latency += self._origin_wait_for_key(key)
         return latency

@@ -154,3 +154,13 @@ class TestOperationRouting:
         totals = {stats.shard_id: stats.operations for stats in router.statistics()}
         assert sum(totals.values()) == 400
         assert router.imbalance() < 2.0
+
+    def test_router_uses_the_shared_statistics_table(self):
+        """Router and HashSharder imbalance come from one helper (no drift)."""
+        from repro.db.sharding import ShardStatisticsTable
+
+        router = ShardRouter(num_shards=3)
+        assert isinstance(router._statistics, ShardStatisticsTable)
+        for index in range(120):
+            router.record_write("posts", f"doc-{index}")
+        assert router.imbalance() == router._statistics.imbalance(router.shard_ids())

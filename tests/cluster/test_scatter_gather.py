@@ -8,7 +8,7 @@ from repro.clock import VirtualClock
 from repro.cluster import ClusterClient, QuaestorCluster
 from repro.core import QuaestorConfig, QuaestorServer
 from repro.db import Database, Query
-from repro.invalidb import InvaliDBCluster
+from repro.invalidb import AdmissionTicket, InvaliDBCluster
 from repro.rest.messages import StatusCode
 from repro.ttl.static import StaticTTLEstimator
 
@@ -117,7 +117,9 @@ class TestCacheControlMerging:
     def test_one_uncacheable_shard_makes_the_merge_uncacheable(self):
         cluster = build_cluster(num_shards=3)
         # Shard 1 rejects the query at admission (capacity exhausted).
-        cluster.shards[1].server.capacity.admit = lambda *args, **kwargs: False
+        cluster.shards[1].server.capacity.probe = lambda key, result_size=0: AdmissionTicket(
+            key, result_size, admitted=False
+        )
 
         response = ClusterClient(cluster).handle_query(Query("posts", {"category": 1}))
         assert not response.is_cacheable

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.db.changestream import ChangeEvent, ChangeStream, OperationType
-from repro.db.sharding import HashSharder
+from repro.db.sharding import HashSharder, ShardStatisticsTable
 
 
 class TestHashSharder:
@@ -51,6 +51,53 @@ def _event(sequence: int, document_id: str = "d1") -> ChangeEvent:
         after={"_id": document_id, "v": sequence},
         timestamp=float(sequence),
     )
+
+
+class TestShardStatisticsTable:
+    def test_counts_reads_and_writes_per_shard(self):
+        table = ShardStatisticsTable(range(3))
+        table.record_read(0)
+        table.record_write(0)
+        table.record_write(1, count=5)
+        assert table.get(0).operations == 2
+        assert table.get(1).writes == 5
+        assert table.get(2).operations == 0
+
+    def test_imbalance_of_idle_table_is_one(self):
+        assert ShardStatisticsTable(range(4)).imbalance() == 1.0
+        assert ShardStatisticsTable().imbalance() == 1.0
+
+    def test_imbalance_is_max_over_mean(self):
+        table = ShardStatisticsTable(range(2))
+        table.record_write(0, count=3)
+        table.record_write(1, count=1)
+        assert table.imbalance() == pytest.approx(1.5)
+
+    def test_imbalance_restricts_to_requested_shards(self):
+        table = ShardStatisticsTable(range(3))
+        table.record_write(0, count=8)
+        table.record_write(1, count=2)
+        table.record_write(2, count=2)
+        assert table.imbalance([1, 2]) == pytest.approx(1.0)
+
+    def test_readded_shard_starts_with_fresh_counters(self):
+        table = ShardStatisticsTable(range(2))
+        table.record_write(1, count=7)
+        table.remove_shard(1)
+        table.add_shard(1)
+        assert table.get(1).operations == 0
+
+    def test_statistics_order_follows_requested_ids(self):
+        table = ShardStatisticsTable([2, 0, 1])
+        assert [stats.shard_id for stats in table.statistics()] == [0, 1, 2]
+        assert [stats.shard_id for stats in table.statistics([2, 0])] == [2, 0]
+
+    def test_hash_sharder_delegates_to_the_shared_table(self):
+        sharder = HashSharder(4)
+        assert isinstance(sharder._table, ShardStatisticsTable)
+        for index in range(100):
+            sharder.record_write("posts", f"doc-{index}")
+        assert sharder.imbalance() == sharder._table.imbalance()
 
 
 class TestChangeStream:

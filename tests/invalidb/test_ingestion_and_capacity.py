@@ -149,3 +149,124 @@ class TestCapacityManager:
             CapacityManager(InvaliDBCluster(), headroom=0.0)
         with pytest.raises(ValueError):
             CapacityManager(InvaliDBCluster(), expected_update_rate=-1.0)
+
+
+class TestTwoPhaseAdmission:
+    def test_probe_does_not_take_the_slot(self):
+        manager = CapacityManager(InvaliDBCluster(), max_active_queries=2)
+        ticket = manager.probe("q1", result_size=3)
+        assert ticket.admitted is True
+        assert not manager.is_admitted("q1")
+
+    def test_commit_takes_the_slot(self):
+        manager = CapacityManager(InvaliDBCluster(), max_active_queries=2)
+        ticket = manager.probe("q1")
+        assert manager.commit(ticket) is True
+        assert manager.is_admitted("q1")
+
+    def test_abort_leaves_the_admitted_set_untouched(self):
+        manager = CapacityManager(InvaliDBCluster(), max_active_queries=1)
+        ticket = manager.probe("q1")
+        manager.abort(ticket)
+        assert not manager.is_admitted("q1")
+        assert manager.aborts == 1
+        # The slot is still free for the next candidate.
+        assert manager.admit("q2") is True
+
+    def test_aborted_probe_does_not_displace_the_victim(self):
+        manager = CapacityManager(InvaliDBCluster(), max_active_queries=1)
+        manager.admit("cold-query")
+        manager.record_invalidation("cold-query")
+        manager.record_invalidation("cold-query")
+        for _ in range(20):
+            manager.record_read("hot-query", result_size=5)
+        ticket = manager.probe("hot-query")
+        assert ticket.admitted and ticket.victim_key == "cold-query"
+        # Between probe and commit the victim keeps its slot...
+        assert manager.is_admitted("cold-query")
+        manager.abort(ticket)
+        # ...and an abort never evicts it.
+        assert manager.is_admitted("cold-query")
+        assert not manager.is_admitted("hot-query")
+
+    def test_commit_displaces_the_victim(self):
+        manager = CapacityManager(InvaliDBCluster(), max_active_queries=1)
+        manager.admit("cold-query")
+        manager.record_invalidation("cold-query")
+        manager.record_invalidation("cold-query")
+        for _ in range(20):
+            manager.record_read("hot-query", result_size=5)
+        ticket = manager.probe("hot-query")
+        manager.commit(ticket)
+        assert manager.is_admitted("hot-query")
+        assert not manager.is_admitted("cold-query")
+
+    def test_rejected_ticket_cannot_be_committed(self):
+        manager = CapacityManager(InvaliDBCluster(), max_active_queries=1)
+        manager.admit("q1")
+        for _ in range(20):
+            manager.record_read("q1", result_size=0)
+        ticket = manager.probe("q2")
+        assert ticket.admitted is False
+        assert manager.rejections == 1
+        with pytest.raises(ValueError):
+            manager.commit(ticket)
+
+    def test_abort_of_rejected_or_idempotent_tickets_is_not_counted(self):
+        manager = CapacityManager(InvaliDBCluster(), max_active_queries=1)
+        manager.admit("q1")
+        for _ in range(20):
+            manager.record_read("q1", result_size=0)
+        rejected = manager.probe("q2")
+        manager.abort(rejected)
+        already = manager.probe("q1")
+        assert already.already_admitted
+        manager.abort(already)
+        assert manager.aborts == 0
+
+    def test_admit_is_probe_plus_commit(self):
+        manager = CapacityManager(InvaliDBCluster(), max_active_queries=2)
+        assert manager.admit("q1") is True
+        assert manager.probes == 1 and manager.commits == 1
+        assert manager.is_admitted("q1")
+
+    def test_probe_counters_accumulate(self):
+        manager = CapacityManager(InvaliDBCluster(), max_active_queries=2)
+        manager.commit(manager.probe("q1"))
+        manager.abort(manager.probe("q2"))
+        assert (manager.probes, manager.commits, manager.aborts) == (2, 1, 1)
+
+    def test_stale_ticket_commit_rearbitrates_instead_of_overfilling(self):
+        manager = CapacityManager(InvaliDBCluster(), max_active_queries=1)
+        ticket = manager.probe("q1")
+        assert ticket.admitted and ticket.victim_key is None
+        # The slot the probe saw is taken before the ticket is redeemed.
+        assert manager.admit("q2") is True
+        manager.record_read("q2", result_size=0)
+        assert manager.commit(ticket) is False
+        assert manager.admitted_queries() == ["q2"]
+
+    def test_stale_ticket_commit_can_still_win_rearbitration(self):
+        manager = CapacityManager(InvaliDBCluster(), max_active_queries=1)
+        for _ in range(20):
+            manager.record_read("hot", result_size=0)
+        ticket = manager.probe("hot")
+        assert manager.admit("weak") is True
+        # The hot candidate still displaces the interleaved occupant.
+        assert manager.commit(ticket) is True
+        assert manager.admitted_queries() == ["hot"]
+
+    def test_stale_victim_commit_respects_the_limit(self):
+        manager = CapacityManager(InvaliDBCluster(), max_active_queries=1)
+        manager.admit("cold")
+        for _ in range(20):
+            manager.record_read("hot", result_size=0)
+        ticket = manager.probe("hot")
+        assert ticket.victim_key == "cold"
+        # The victim disappears and a stronger occupant takes the slot.
+        manager.release("cold")
+        manager.admit("stronger")
+        for _ in range(50):
+            manager.record_read("stronger", result_size=0)
+        assert manager.commit(ticket) is False
+        assert manager.admitted_queries() == ["stronger"]
