@@ -1,16 +1,20 @@
 # Developer entry points for the Quaestor reproduction.
 #
-#   make test        - tier-1 test suite (what CI gates on)
-#   make bench-smoke - fast benchmark subset (EBF micro + cluster scaling)
-#   make bench       - every benchmark target (regenerates benchmarks/results/)
-#   make docs-check  - fail if README.md or docs/ reference missing modules/files
+#   make test            - tier-1 test suite (what CI gates on)
+#   make bench-smoke     - fast benchmark subset (EBF micro + cluster scaling)
+#   make bench           - every benchmark target (regenerates benchmarks/results/)
+#   make bench-hotpaths  - hot-path microbenchmarks; rewrites BENCH_hotpaths.json
+#   make bench-hotpaths-check - budget-mode run gated against the committed
+#                               BENCH_hotpaths.json (fails when a speedup
+#                               ratio collapses >3x)
+#   make docs-check      - fail if README.md or docs/ reference missing modules/files
 
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
 
-BENCH_FILES := $(wildcard benchmarks/bench_*.py)
+BENCH_FILES := $(filter-out benchmarks/bench_hotpaths.py,$(wildcard benchmarks/bench_*.py))
 
-.PHONY: test bench-smoke bench docs-check
+.PHONY: test bench-smoke bench bench-hotpaths bench-hotpaths-check docs-check
 
 test:
 	$(PYTEST) -x -q
@@ -20,6 +24,12 @@ bench-smoke:
 
 bench:
 	$(PYTEST) $(BENCH_FILES) -q
+
+bench-hotpaths:
+	$(PYTHON) benchmarks/bench_hotpaths.py
+
+bench-hotpaths-check:
+	$(PYTHON) benchmarks/bench_hotpaths.py --budget --check BENCH_hotpaths.json
 
 docs-check:
 	$(PYTHON) scripts/docs_check.py

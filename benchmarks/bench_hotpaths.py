@@ -1,0 +1,378 @@
+#!/usr/bin/env python
+"""Hot-path microbenchmarks: Bloom filter stack and InvaliDB matching.
+
+Measures the two throughput-critical loops of the middleware and writes the
+numbers to ``BENCH_hotpaths.json``:
+
+* **Bloom add / contains** -- keys per second inserted into and probed
+  against a paper-geometry filter.  The *baseline* runs the legacy per-byte
+  FNV-1a scheme (``hash_scheme="fnv"``, the exact pre-optimisation code
+  path, uncached by design); the *optimized* run uses the blake2 scheme with
+  the hash-pair cache cold for adds and warm for membership probes, via the
+  batch APIs ``add_all`` / ``contains_all``.
+* **InvaliDB events/sec at 1k registered queries** -- change events matched
+  per second by a single-node cluster hosting 1,000 registered queries.  The
+  baseline disables the candidate index (``use_matching_index=False``, the
+  legacy scan over every state); the optimized run uses the per-collection /
+  per-attribute-value index.  Both runs are asserted to emit identical
+  notification streams before any timing happens.
+
+Both baselines live behind flags on the production code, so every invocation
+re-measures *before* and *after* on the same machine and the committed JSON
+always carries a comparable pair.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_hotpaths.py                  # full run
+    PYTHONPATH=src python benchmarks/bench_hotpaths.py --budget         # CI-sized
+    PYTHONPATH=src python benchmarks/bench_hotpaths.py --budget \\
+        --check BENCH_hotpaths.json                                    # regression gate
+
+``--check`` compares the freshly measured optimized-vs-baseline *speedups*
+against the committed file and fails (exit 1) when any ratio collapsed by
+more than the allowed factor (default 3x) -- the CI smoke guard.  Ratios,
+not absolute ops/sec, so the gate is independent of how fast the CI runner
+happens to be relative to the machine that committed the baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import pathlib
+import platform
+import random
+import sys
+import time
+from typing import Callable, Dict, List
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.bloom import hashing  # noqa: E402
+from repro.bloom.bloom_filter import BloomFilter  # noqa: E402
+from repro.bloom.sizing import PAPER_DEFAULT_BITS  # noqa: E402
+from repro.db.changestream import ChangeEvent, OperationType  # noqa: E402
+from repro.db.query import Query, record_key  # noqa: E402
+from repro.invalidb.cluster import InvaliDBCluster  # noqa: E402
+
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_hotpaths.json"
+SCHEMA = "quaestor-bench-hotpaths/1"
+#: CI gate: fail when optimized throughput drops below committed/FACTOR.
+DEFAULT_REGRESSION_FACTOR = 3.0
+
+
+# -- timing helpers ---------------------------------------------------------------
+
+
+def best_rate(operation: Callable[[], int], repeats: int) -> float:
+    """Run ``operation`` ``repeats`` times; return the best ops/sec observed.
+
+    ``operation`` returns the number of operations it performed.  Taking the
+    best (not the mean) of several runs is the standard microbenchmark
+    defence against scheduler noise on shared CI machines.
+    """
+    best = 0.0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        count = operation()
+        elapsed = time.perf_counter() - start
+        if elapsed > 0:
+            best = max(best, count / elapsed)
+    return best
+
+
+# -- bloom workload ---------------------------------------------------------------
+
+
+def bloom_keys(count: int) -> List[str]:
+    """Realistic cache keys: a mix of record keys and normalised query keys."""
+    keys: List[str] = []
+    for index in range(count):
+        if index % 3 == 0:
+            keys.append(
+                Query("posts", {"category": index % 32}, limit=10 + index % 5).cache_key
+            )
+        else:
+            keys.append(record_key("posts", f"doc-{index:08d}"))
+    return keys
+
+
+def bench_bloom(key_count: int, repeats: int) -> Dict[str, Dict[str, float]]:
+    keys = bloom_keys(key_count)
+    probe_keys = keys[: key_count // 2] + [
+        record_key("posts", f"absent-{index:08d}") for index in range(key_count // 2)
+    ]
+    geometry = (PAPER_DEFAULT_BITS, 4)
+
+    def add_baseline() -> int:
+        # The pre-PR hot path: one add() call per key, legacy FNV scheme.
+        bloom = BloomFilter(*geometry, hash_scheme=hashing.SCHEME_FNV)
+        add = bloom.add
+        for key in keys:
+            add(key)
+        return len(keys)
+
+    def add_optimized() -> int:
+        # The new hot path: batch insert, blake2 scheme, cache cleared so the
+        # run measures cold-cache hashing (every key hashed for real).
+        hashing.clear_hash_pair_cache()
+        bloom = BloomFilter(*geometry)
+        bloom.add_all(keys)
+        return len(keys)
+
+    legacy_filter = BloomFilter(*geometry, hash_scheme=hashing.SCHEME_FNV)
+    legacy_filter.add_all(keys)
+    fast_filter = BloomFilter(*geometry)
+    fast_filter.add_all(keys)
+
+    def contains_baseline() -> int:
+        contains = legacy_filter.contains
+        for key in probe_keys:
+            contains(key)
+        return len(probe_keys)
+
+    def contains_optimized() -> int:
+        fast_filter.contains_all(probe_keys)
+        return len(probe_keys)
+
+    # Sanity: both schemes must agree that every inserted key is contained.
+    legacy = BloomFilter(*geometry, hash_scheme=hashing.SCHEME_FNV)
+    legacy.add_all(keys[:100])
+    assert all(legacy.contains_all(keys[:100])), "legacy scheme lost a key"
+    fast = BloomFilter(*geometry, hash_scheme=hashing.SCHEME_BLAKE2)
+    fast.add_all(keys[:100])
+    assert all(fast.contains_all(keys[:100])), "blake2 scheme lost a key"
+
+    results: Dict[str, Dict[str, float]] = {}
+    for metric, baseline_op, optimized_op in (
+        ("add", add_baseline, add_optimized),
+        ("contains", contains_baseline, contains_optimized),
+    ):
+        baseline = best_rate(baseline_op, repeats)
+        optimized = best_rate(optimized_op, repeats)
+        results[metric] = {
+            "baseline_ops_per_sec": round(baseline, 1),
+            "optimized_ops_per_sec": round(optimized, 1),
+            "speedup": round(optimized / baseline, 2) if baseline else float("inf"),
+        }
+    results["keys"] = key_count
+    return results
+
+
+# -- invalidb workload ---------------------------------------------------------------
+
+
+def invalidb_queries(count: int) -> List[Query]:
+    """1k-query mix mirroring cached app workloads: mostly equality lookups
+    (category pages, tag pages), a tail of range and ``$or`` scan queries."""
+    queries: List[Query] = []
+    for index in range(count):
+        collection = f"table{index % 4}"
+        bucket = index % 20
+        if bucket < 16:
+            queries.append(Query(collection, {"category": index % 97}))
+        elif bucket < 18:
+            queries.append(Query(collection, {"tags": f"tag-{index % 53}"}))
+        elif bucket < 19:
+            queries.append(Query(collection, {"views": {"$gte": (index % 19) * 50}}))
+        else:
+            queries.append(
+                Query(
+                    collection,
+                    {"$or": [{"category": index % 97}, {"views": {"$lt": 5}}]},
+                )
+            )
+    return queries
+
+
+def invalidb_events(count: int, seed: int = 99) -> List[ChangeEvent]:
+    rng = random.Random(seed)
+    documents: Dict[str, dict] = {}
+    events: List[ChangeEvent] = []
+    for sequence in range(1, count + 1):
+        collection = f"table{rng.randrange(4)}"
+        doc_id = f"{collection}:d{rng.randrange(500)}"
+        after = {
+            "_id": doc_id,
+            "category": rng.randrange(97),
+            "views": rng.randrange(1000),
+            "tags": [f"tag-{rng.randrange(53)}"],
+        }
+        before = documents.get(doc_id)
+        operation = OperationType.UPDATE if before is not None else OperationType.INSERT
+        events.append(
+            ChangeEvent(sequence, operation, collection, doc_id, before, after, float(sequence))
+        )
+        documents[doc_id] = after
+    return events
+
+
+def _notification_digest(cluster: InvaliDBCluster, events: List[ChangeEvent]) -> str:
+    stream = []
+    for event in events:
+        for notification in cluster.process_event(event):
+            stream.append(
+                [
+                    notification.query_key,
+                    notification.type.value,
+                    notification.document_id,
+                    notification.timestamp,
+                    notification.new_index,
+                ]
+            )
+    payload = json.dumps(stream, separators=(",", ":")).encode()
+    return hashlib.sha256(payload).hexdigest()
+
+
+def bench_invalidb(
+    query_count: int, event_count: int, repeats: int
+) -> Dict[str, float]:
+    queries = invalidb_queries(query_count)
+    events = invalidb_events(event_count)
+
+    def build(use_index: bool) -> InvaliDBCluster:
+        cluster = InvaliDBCluster(matching_nodes=1, use_matching_index=use_index)
+        for query in queries:
+            cluster.register_query(query, [])
+        return cluster
+
+    # Correctness gate before timing: both modes must notify identically.
+    parity_events = events[: min(len(events), 400)]
+    digest_indexed = _notification_digest(build(True), parity_events)
+    digest_scan = _notification_digest(build(False), parity_events)
+    assert digest_indexed == digest_scan, "matching index changed the notification stream"
+
+    def events_with(use_index: bool) -> Callable[[], int]:
+        # One fresh cluster per timing repeat, built outside the timed
+        # region: the metric is steady-state matching throughput, not
+        # query-activation cost -- and replaying the event list on a warm
+        # cluster would violate the change-stream contract (INSERT events
+        # for documents the cluster already tracks), making the two modes
+        # perform different work.
+        clusters = iter([build(use_index) for _ in range(repeats)])
+
+        def run() -> int:
+            process = next(clusters).process_event
+            for event in events:
+                process(event)
+            return len(events)
+
+        return run
+
+    baseline = best_rate(events_with(False), repeats)
+    optimized = best_rate(events_with(True), repeats)
+    return {
+        "registered_queries": query_count,
+        "events": event_count,
+        "baseline_events_per_sec": round(baseline, 1),
+        "optimized_events_per_sec": round(optimized, 1),
+        "speedup": round(optimized / baseline, 2) if baseline else float("inf"),
+        "notification_stream_sha256": digest_indexed,
+    }
+
+
+# -- report / regression gate ---------------------------------------------------------
+
+
+def run(budget: bool, repeats: int) -> Dict[str, object]:
+    key_count = 2_000 if budget else 8_000
+    event_count = 400 if budget else 2_000
+    bench_repeats = max(1, repeats if not budget else min(repeats, 2))
+    return {
+        "schema": SCHEMA,
+        "generated_by": "benchmarks/bench_hotpaths.py",
+        "budget_mode": budget,
+        "python": platform.python_version(),
+        "bloom": bench_bloom(key_count, bench_repeats),
+        "invalidb": bench_invalidb(1_000, event_count, bench_repeats),
+    }
+
+
+def speedup_metrics(report: Dict[str, object]) -> Dict[str, float]:
+    bloom = report["bloom"]
+    invalidb = report["invalidb"]
+    return {
+        "bloom.add": bloom["add"]["speedup"],
+        "bloom.contains": bloom["contains"]["speedup"],
+        "invalidb.events": invalidb["speedup"],
+    }
+
+
+def check(report: Dict[str, object], baseline_path: pathlib.Path, factor: float) -> int:
+    """Gate on the optimized-vs-baseline *speedup* of the current run.
+
+    Both sides of each ratio come from the same machine and the same
+    invocation, so the gate is independent of how fast the runner is --
+    absolute ops/sec committed from a developer laptop would fail any CI
+    runner that is merely slower.  A collapse of the ratio towards 1 is
+    exactly the regression this guards against (per-byte hashing or
+    full-scan matching sneaking back into the hot paths).
+    """
+    committed = json.loads(baseline_path.read_text(encoding="utf-8"))
+    current = speedup_metrics(report)
+    reference = speedup_metrics(committed)
+    failures = []
+    for metric, reference_ratio in reference.items():
+        current_ratio = current[metric]
+        floor = reference_ratio / factor
+        status = "ok" if current_ratio >= floor else "REGRESSION"
+        print(
+            f"  {metric:<18} current speedup {current_ratio:>7.2f}x  "
+            f"committed {reference_ratio:>7.2f}x  floor {floor:>7.2f}x  {status}"
+        )
+        if current_ratio < floor:
+            failures.append(metric)
+    if failures:
+        print(f"FAIL: hot-path speedup collapsed >{factor:.0f}x on: {', '.join(failures)}")
+        return 1
+    print(f"OK: all hot-path speedups within {factor:.0f}x of the committed baseline")
+    return 0
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--budget", action="store_true", help="CI-sized run (fewer keys/events/repeats)"
+    )
+    parser.add_argument(
+        "--output",
+        type=pathlib.Path,
+        default=DEFAULT_OUTPUT,
+        help=f"where to write the JSON report (default: {DEFAULT_OUTPUT})",
+    )
+    parser.add_argument(
+        "--no-write", action="store_true", help="measure and print without writing the file"
+    )
+    parser.add_argument(
+        "--check",
+        type=pathlib.Path,
+        metavar="BASELINE",
+        help="compare against a committed report; exit 1 on >--factor regression",
+    )
+    parser.add_argument(
+        "--factor",
+        type=float,
+        default=DEFAULT_REGRESSION_FACTOR,
+        help=f"allowed regression factor for --check (default {DEFAULT_REGRESSION_FACTOR:g})",
+    )
+    parser.add_argument("--repeats", type=int, default=3, help="timing repeats (best-of)")
+    args = parser.parse_args(argv)
+
+    report = run(args.budget, args.repeats)
+    print(json.dumps(report, indent=2))
+
+    if args.check is not None:
+        # Gate runs never overwrite the committed baseline they compare against.
+        print(f"\nRegression check against {args.check}:")
+        return check(report, args.check, args.factor)
+
+    if not args.no_write:
+        args.output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+        print(f"\nwrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -31,6 +31,13 @@ from repro.bloom.counting import CountingBloomFilter
 from repro.bloom.expiring import ExpiringBloomFilter
 from repro.bloom.backed import KVBackedExpiringBloomFilter
 from repro.bloom.partitioned import PartitionedExpiringBloomFilter
+from repro.bloom.hashing import (
+    DEFAULT_SCHEME,
+    SCHEME_BLAKE2,
+    SCHEME_FNV,
+    SCHEME_BY_WIRE_VERSION,
+    WIRE_VERSION_BY_SCHEME,
+)
 from repro.bloom.sizing import (
     false_positive_rate,
     optimal_bit_count,
@@ -43,6 +50,11 @@ __all__ = [
     "ExpiringBloomFilter",
     "KVBackedExpiringBloomFilter",
     "PartitionedExpiringBloomFilter",
+    "DEFAULT_SCHEME",
+    "SCHEME_BLAKE2",
+    "SCHEME_FNV",
+    "SCHEME_BY_WIRE_VERSION",
+    "WIRE_VERSION_BY_SCHEME",
     "false_positive_rate",
     "optimal_bit_count",
     "optimal_hash_count",

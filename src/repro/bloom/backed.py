@@ -11,7 +11,7 @@ the store's operation counter reflects the load the paper measures
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Iterable, Optional
 
 from repro.bloom import hashing
 from repro.bloom.bloom_filter import BloomFilter
@@ -41,14 +41,18 @@ class KVBackedExpiringBloomFilter:
         num_bits: int = PAPER_DEFAULT_BITS,
         num_hashes: int = 4,
         namespace: str = "",
+        hash_scheme: str = hashing.DEFAULT_SCHEME,
     ) -> None:
         if num_bits <= 0:
             raise ValueError("num_bits must be positive")
         if num_hashes <= 0:
             raise ValueError("num_hashes must be positive")
+        if hash_scheme not in hashing.WIRE_VERSION_BY_SCHEME:
+            raise ValueError(f"unknown hash scheme: {hash_scheme!r}")
         self._store = store
         self.num_bits = int(num_bits)
         self.num_hashes = int(num_hashes)
+        self.hash_scheme = hash_scheme
         self._prefix = f"{namespace}:" if namespace else ""
         self._reads_reported = 0
         self._invalidations_reported = 0
@@ -84,6 +88,16 @@ class KVBackedExpiringBloomFilter:
             self._store.zadd(stale_key, key, cacheable_until)
         self._reads_reported += 1
 
+    def report_read_many(
+        self, keys: Iterable[str], ttl: float, read_time: Optional[float] = None
+    ) -> None:
+        """Batch form of :meth:`report_read` (one clock resolution, shared TTL)."""
+        if ttl < 0:
+            raise ValueError(f"ttl must be non-negative, got {ttl}")
+        timestamp = self.now() if read_time is None else read_time
+        for key in keys:
+            self.report_read(key, ttl, timestamp)
+
     def report_invalidation(self, key: str, invalidation_time: Optional[float] = None) -> bool:
         """Mark ``key`` stale if some cache may still hold it."""
         timestamp = self.now() if invalidation_time is None else invalidation_time
@@ -117,12 +131,16 @@ class KVBackedExpiringBloomFilter:
 
     def _add_to_filter(self, key: str) -> None:
         counters_key = self._key(self.COUNTERS_KEY)
-        for position in hashing.distinct_positions(key, self.num_hashes, self.num_bits):
+        for position in hashing.distinct_positions(
+            key, self.num_hashes, self.num_bits, self.hash_scheme
+        ):
             self._store.hincrby(counters_key, str(position), 1)
 
     def _remove_from_filter(self, key: str) -> None:
         counters_key = self._key(self.COUNTERS_KEY)
-        for position in hashing.distinct_positions(key, self.num_hashes, self.num_bits):
+        for position in hashing.distinct_positions(
+            key, self.num_hashes, self.num_bits, self.hash_scheme
+        ):
             current = self._store.hget(counters_key, str(position), 0)
             if current > 0:
                 self._store.hincrby(counters_key, str(position), -1)
@@ -142,7 +160,9 @@ class KVBackedExpiringBloomFilter:
         counters_key = self._key(self.COUNTERS_KEY)
         return all(
             self._store.hget(counters_key, str(position), 0) > 0
-            for position in hashing.distinct_positions(key, self.num_hashes, self.num_bits)
+            for position in hashing.distinct_positions(
+                key, self.num_hashes, self.num_bits, self.hash_scheme
+            )
         )
 
     def __contains__(self, key: str) -> bool:
@@ -161,12 +181,19 @@ class KVBackedExpiringBloomFilter:
     def to_flat(self, now: Optional[float] = None) -> BloomFilter:
         """Materialise the flat client copy from the shared counters."""
         self.expire(self.now() if now is None else now)
-        flat = BloomFilter(self.num_bits, self.num_hashes)
+        flat = BloomFilter(self.num_bits, self.num_hashes, self.hash_scheme)
         counters = self._store.hgetall(self._key(self.COUNTERS_KEY))
         for field, count in counters.items():
             if count > 0:
                 flat._set_bit(int(field))
         return flat
+
+    def fill_ratio(self) -> float:
+        """Fraction of slots with a non-zero shared counter."""
+        self.expire()
+        counters = self._store.hgetall(self._key(self.COUNTERS_KEY))
+        occupied = sum(1 for count in counters.values() if count > 0)
+        return occupied / self.num_bits
 
     def statistics(self) -> EBFStatistics:
         """Statistics snapshot matching the in-memory EBF's format."""

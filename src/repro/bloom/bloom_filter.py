@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+from typing import Iterable, Iterator, List, Optional, Sequence
 
 from repro.bloom import hashing
 from repro.bloom.sizing import false_positive_rate, optimal_hash_count
@@ -14,35 +14,58 @@ class BloomFilter:
     Clients receive this flat representation of the server-side Expiring Bloom
     Filter; it supports membership tests, insertion, bitwise union (used to
     aggregate per-table EBF partitions) and compact serialisation.
+
+    The filter's geometry is *versioned*: ``(num_bits, num_hashes,
+    hash_scheme)`` together determine which bits a key sets, and the scheme
+    maps to a wire version (see :data:`repro.bloom.hashing.SCHEME_BY_WIRE_VERSION`).
+    ``to_bytes`` still emits the raw bit array, so payloads are byte-identical
+    for identical bits; a payload produced under the legacy FNV scheme is
+    reconstructed with ``from_bytes(..., hash_scheme=SCHEME_FNV)`` (or
+    ``wire_version=1``) and stays fully readable.
     """
 
-    def __init__(self, num_bits: int, num_hashes: int) -> None:
+    def __init__(
+        self, num_bits: int, num_hashes: int, hash_scheme: str = hashing.DEFAULT_SCHEME
+    ) -> None:
         if num_bits <= 0:
             raise ValueError("num_bits must be positive")
         if num_hashes <= 0:
             raise ValueError("num_hashes must be positive")
+        if hash_scheme not in hashing.WIRE_VERSION_BY_SCHEME:
+            raise ValueError(f"unknown hash scheme: {hash_scheme!r}")
         self.num_bits = int(num_bits)
         self.num_hashes = int(num_hashes)
+        self.hash_scheme = hash_scheme
         self._bits = bytearray((self.num_bits + 7) // 8)
         self._count = 0
 
     # -- construction helpers -------------------------------------------------
 
     @classmethod
-    def with_capacity(cls, expected_items: int, target_fp_rate: float = 0.05) -> "BloomFilter":
+    def with_capacity(
+        cls,
+        expected_items: int,
+        target_fp_rate: float = 0.05,
+        hash_scheme: str = hashing.DEFAULT_SCHEME,
+    ) -> "BloomFilter":
         """Create a filter sized for ``expected_items`` at ``target_fp_rate``."""
         from repro.bloom.sizing import optimal_bit_count
 
         bits = optimal_bit_count(expected_items, target_fp_rate)
         hashes = optimal_hash_count(bits, expected_items)
-        return cls(bits, hashes)
+        return cls(bits, hashes, hash_scheme)
 
     @classmethod
-    def from_keys(cls, keys: Iterable[str], num_bits: int, num_hashes: int) -> "BloomFilter":
+    def from_keys(
+        cls,
+        keys: Iterable[str],
+        num_bits: int,
+        num_hashes: int,
+        hash_scheme: str = hashing.DEFAULT_SCHEME,
+    ) -> "BloomFilter":
         """Create a filter of fixed geometry containing ``keys``."""
-        instance = cls(num_bits, num_hashes)
-        for key in keys:
-            instance.add(key)
+        instance = cls(num_bits, num_hashes, hash_scheme)
+        instance.add_all(keys)
         return instance
 
     # -- bit manipulation -----------------------------------------------------
@@ -57,16 +80,60 @@ class BloomFilter:
 
     def add(self, key: str) -> None:
         """Insert ``key`` into the filter."""
-        for position in hashing.positions(key, self.num_hashes, self.num_bits):
+        for position in hashing.positions(key, self.num_hashes, self.num_bits, self.hash_scheme):
             self._set_bit(position)
         self._count += 1
+
+    def add_all(self, keys: Iterable[str]) -> None:
+        """Insert every key of ``keys`` (batch form of :meth:`add`).
+
+        One bound-method lookup and one validation for the whole batch; the
+        per-key work reduces to the hash-pair evaluation and the bit sets.
+        """
+        bits = self._bits
+        num_bits = self.num_bits
+        hash_range = range(self.num_hashes)
+        pair = hashing.base_pair_function(self.hash_scheme)
+        count = 0
+        for key in keys:
+            h1, h2 = pair(key)
+            h2 |= 1
+            for _ in hash_range:
+                position = h1 % num_bits
+                bits[position >> 3] |= 1 << (position & 7)
+                h1 += h2
+            count += 1
+        self._count += count
 
     def contains(self, key: str) -> bool:
         """Return ``True`` if ``key`` is possibly contained (no false negatives)."""
         return all(
             self._get_bit(position)
-            for position in hashing.positions(key, self.num_hashes, self.num_bits)
+            for position in hashing.positions(
+                key, self.num_hashes, self.num_bits, self.hash_scheme
+            )
         )
+
+    def contains_all(self, keys: Sequence[str]) -> List[bool]:
+        """Batch membership test: one ``bool`` per key, in input order."""
+        bits = self._bits
+        num_bits = self.num_bits
+        hash_range = range(self.num_hashes)
+        pair = hashing.base_pair_function(self.hash_scheme)
+        results: List[bool] = []
+        append = results.append
+        for key in keys:
+            h1, h2 = pair(key)
+            h2 |= 1
+            member = True
+            for _ in hash_range:
+                position = h1 % num_bits
+                if not bits[position >> 3] & (1 << (position & 7)):
+                    member = False
+                    break
+                h1 += h2
+            append(member)
+        return results
 
     def __contains__(self, key: str) -> bool:
         return self.contains(key)
@@ -84,20 +151,44 @@ class BloomFilter:
         """Bitwise OR of two filters with identical geometry.
 
         Used to aggregate per-table EBF partitions into one client filter.
+        The OR runs as a single whole-array integer operation instead of a
+        per-byte Python loop.
         """
         self._require_same_geometry(other)
-        merged = BloomFilter(self.num_bits, self.num_hashes)
-        merged._bits = bytearray(a | b for a, b in zip(self._bits, other._bits))
+        merged = BloomFilter(self.num_bits, self.num_hashes, self.hash_scheme)
+        combined = int.from_bytes(self._bits, "little") | int.from_bytes(other._bits, "little")
+        merged._bits = bytearray(combined.to_bytes(len(self._bits), "little"))
         merged._count = self._count + other._count
+        return merged
+
+    @classmethod
+    def union_all(cls, filters: Sequence["BloomFilter"]) -> "BloomFilter":
+        """OR an arbitrary number of same-geometry filters in one pass.
+
+        Accumulates into a single integer, avoiding the intermediate filter
+        copy per pairwise :meth:`union` (the cluster unions one flat filter
+        per shard on every EBF download).
+        """
+        if not filters:
+            raise ValueError("union_all requires at least one filter")
+        first = filters[0]
+        combined = int.from_bytes(first._bits, "little")
+        count = first._count
+        for other in filters[1:]:
+            first._require_same_geometry(other)
+            combined |= int.from_bytes(other._bits, "little")
+            count += other._count
+        merged = cls(first.num_bits, first.num_hashes, first.hash_scheme)
+        merged._bits = bytearray(combined.to_bytes(len(first._bits), "little"))
+        merged._count = count
         return merged
 
     def __or__(self, other: "BloomFilter") -> "BloomFilter":
         return self.union(other)
 
     def fill_ratio(self) -> float:
-        """Fraction of bits set to one."""
-        set_bits = sum(bin(byte).count("1") for byte in self._bits)
-        return set_bits / self.num_bits
+        """Fraction of bits set to one (one popcount over the whole array)."""
+        return int.from_bytes(self._bits, "little").bit_count() / self.num_bits
 
     def estimated_false_positive_rate(self) -> float:
         """Expected false positive rate given the number of insertions."""
@@ -105,14 +196,46 @@ class BloomFilter:
 
     # -- serialisation --------------------------------------------------------
 
+    @property
+    def wire_version(self) -> int:
+        """Wire version of this filter's geometry (pins the hash scheme)."""
+        return hashing.WIRE_VERSION_BY_SCHEME[self.hash_scheme]
+
     def to_bytes(self) -> bytes:
-        """Serialise the bit array (the payload piggybacked to clients)."""
+        """Serialise the bit array (the payload piggybacked to clients).
+
+        The payload is the raw bits, unchanged across schemes; receivers pair
+        it with the geometry ``(num_bits, num_hashes, wire_version)``.
+        """
         return bytes(self._bits)
 
     @classmethod
-    def from_bytes(cls, payload: bytes, num_bits: int, num_hashes: int) -> "BloomFilter":
-        """Reconstruct a filter from :meth:`to_bytes` output."""
-        instance = cls(num_bits, num_hashes)
+    def from_bytes(
+        cls,
+        payload: bytes,
+        num_bits: int,
+        num_hashes: int,
+        hash_scheme: Optional[str] = None,
+        wire_version: Optional[int] = None,
+    ) -> "BloomFilter":
+        """Reconstruct a filter from :meth:`to_bytes` output.
+
+        ``wire_version`` (or ``hash_scheme`` directly) selects the scheme the
+        payload's bits were produced with; legacy payloads serialized before
+        the blake2 switch pass ``wire_version=1`` (equivalently
+        ``hash_scheme=hashing.SCHEME_FNV``).
+        """
+        if hash_scheme is not None and wire_version is not None:
+            if hashing.WIRE_VERSION_BY_SCHEME.get(hash_scheme) != wire_version:
+                raise ValueError(
+                    f"hash scheme {hash_scheme!r} does not match wire version {wire_version}"
+                )
+        scheme = (
+            hash_scheme
+            if hash_scheme is not None
+            else hashing.scheme_for_wire_version(wire_version)
+        )
+        instance = cls(num_bits, num_hashes, scheme)
         expected = (num_bits + 7) // 8
         if len(payload) != expected:
             raise ValueError(
@@ -124,28 +247,42 @@ class BloomFilter:
 
     def copy(self) -> "BloomFilter":
         """Return an independent copy of this filter."""
-        clone = BloomFilter(self.num_bits, self.num_hashes)
+        clone = BloomFilter(self.num_bits, self.num_hashes, self.hash_scheme)
         clone._bits = bytearray(self._bits)
         clone._count = self._count
         return clone
 
     def iter_set_bits(self) -> Iterator[int]:
-        """Yield the indexes of all set bits (diagnostics and tests)."""
-        for index in range(self.num_bits):
-            if self._get_bit(index):
-                yield index
+        """Yield the indexes of all set bits, ascending (diagnostics and tests).
+
+        Walks the whole array as one integer and strips the lowest set bit
+        per step, so the cost scales with the *set* bits, not ``num_bits``.
+        """
+        # Mask off padding bits of the final byte: externally produced
+        # payloads may have them set, and indices >= num_bits must not leak.
+        value = int.from_bytes(self._bits, "little") & ((1 << self.num_bits) - 1)
+        while value:
+            lowest = value & -value
+            yield lowest.bit_length() - 1
+            value ^= lowest
 
     # -- internals ------------------------------------------------------------
 
     def _require_same_geometry(self, other: "BloomFilter") -> None:
-        if self.num_bits != other.num_bits or self.num_hashes != other.num_hashes:
+        if (
+            self.num_bits != other.num_bits
+            or self.num_hashes != other.num_hashes
+            or self.hash_scheme != other.hash_scheme
+        ):
             raise ValueError(
                 "filters must share geometry: "
-                f"({self.num_bits}, {self.num_hashes}) vs ({other.num_bits}, {other.num_hashes})"
+                f"({self.num_bits}, {self.num_hashes}, {self.hash_scheme}) vs "
+                f"({other.num_bits}, {other.num_hashes}, {other.hash_scheme})"
             )
 
     def __repr__(self) -> str:
         return (
             f"BloomFilter(bits={self.num_bits}, hashes={self.num_hashes}, "
-            f"insertions={self._count}, fill={self.fill_ratio():.4f})"
+            f"scheme={self.hash_scheme}, insertions={self._count}, "
+            f"fill={self.fill_ratio():.4f})"
         )

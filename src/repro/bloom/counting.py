@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Iterable, List, Sequence
 
 from repro.bloom import hashing
 from repro.bloom.bloom_filter import BloomFilter
@@ -19,28 +19,38 @@ class CountingBloomFilter:
     per request would be inefficient.
     """
 
-    def __init__(self, num_bits: int, num_hashes: int) -> None:
+    def __init__(
+        self, num_bits: int, num_hashes: int, hash_scheme: str = hashing.DEFAULT_SCHEME
+    ) -> None:
         if num_bits <= 0:
             raise ValueError("num_bits must be positive")
         if num_hashes <= 0:
             raise ValueError("num_hashes must be positive")
         self.num_bits = int(num_bits)
         self.num_hashes = int(num_hashes)
+        self.hash_scheme = hash_scheme
         # Sparse counter storage: most slots are zero in practice.
         self._counters: Dict[int, int] = {}
-        self._flat = BloomFilter(num_bits, num_hashes)
+        self._flat = BloomFilter(num_bits, num_hashes, hash_scheme)
         self._item_count = 0
 
     # -- mutation -------------------------------------------------------------
 
     def add(self, key: str) -> None:
         """Increment the counters of ``key`` (idempotence is *not* implied)."""
-        for position in hashing.distinct_positions(key, self.num_hashes, self.num_bits):
+        for position in hashing.distinct_positions(
+            key, self.num_hashes, self.num_bits, self.hash_scheme
+        ):
             previous = self._counters.get(position, 0)
             self._counters[position] = previous + 1
             if previous == 0:
                 self._flat._set_bit(position)
         self._item_count += 1
+
+    def add_all(self, keys: Iterable[str]) -> None:
+        """Insert every key of ``keys`` (batch form of :meth:`add`)."""
+        for key in keys:
+            self.add(key)
 
     def remove(self, key: str) -> bool:
         """Decrement the counters of ``key``.
@@ -48,7 +58,7 @@ class CountingBloomFilter:
         Returns ``False`` (and leaves the filter untouched) when the key is
         definitely not contained, which protects against counter underflow.
         """
-        slots = hashing.distinct_positions(key, self.num_hashes, self.num_bits)
+        slots = hashing.distinct_positions(key, self.num_hashes, self.num_bits, self.hash_scheme)
         if any(self._counters.get(position, 0) == 0 for position in slots):
             return False
         for position in slots:
@@ -73,8 +83,18 @@ class CountingBloomFilter:
         """Membership test with the usual one-sided (false positive) error."""
         return all(
             self._counters.get(position, 0) > 0
-            for position in hashing.distinct_positions(key, self.num_hashes, self.num_bits)
+            for position in hashing.distinct_positions(
+                key, self.num_hashes, self.num_bits, self.hash_scheme
+            )
         )
+
+    def contains_all(self, keys: Sequence[str]) -> List[bool]:
+        """Batch membership test: one ``bool`` per key, in input order.
+
+        Delegates to the incrementally maintained flat snapshot, whose
+        membership is identical (a bit is set iff its counter is non-zero).
+        """
+        return self._flat.contains_all(keys)
 
     def __contains__(self, key: str) -> bool:
         return self.contains(key)
@@ -92,6 +112,10 @@ class CountingBloomFilter:
     def nonzero_slots(self) -> int:
         """Number of slots with a non-zero counter."""
         return len(self._counters)
+
+    def fill_ratio(self) -> float:
+        """Fraction of slots with a non-zero counter (flat-filter fill)."""
+        return len(self._counters) / self.num_bits
 
     def to_flat(self) -> BloomFilter:
         """Return an independent flat snapshot of the current membership."""

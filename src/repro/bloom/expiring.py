@@ -22,6 +22,7 @@ import heapq
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro.bloom import hashing
 from repro.bloom.bloom_filter import BloomFilter
 from repro.bloom.counting import CountingBloomFilter
 from repro.bloom.sizing import PAPER_DEFAULT_BITS
@@ -58,11 +59,13 @@ class ExpiringBloomFilter:
         num_bits: int = PAPER_DEFAULT_BITS,
         num_hashes: int = 4,
         clock: Optional[Clock] = None,
+        hash_scheme: str = hashing.DEFAULT_SCHEME,
     ) -> None:
         self.num_bits = int(num_bits)
         self.num_hashes = int(num_hashes)
+        self.hash_scheme = hash_scheme
         self._clock: Clock = clock if clock is not None else VirtualClock()
-        self._filter = CountingBloomFilter(self.num_bits, self.num_hashes)
+        self._filter = CountingBloomFilter(self.num_bits, self.num_hashes, hash_scheme)
         # Latest instant until which some cache may hold the key.
         self._cacheable_until: Dict[str, float] = {}
         # Keys currently marked stale, mapped to when they leave the filter.
@@ -105,6 +108,20 @@ class ExpiringBloomFilter:
         if key in self._stale_until and cacheable_until > self._stale_until[key]:
             self._stale_until[key] = cacheable_until
         self._reads_reported += 1
+
+    def report_read_many(
+        self, keys: Iterable[str], ttl: float, read_time: Optional[float] = None
+    ) -> None:
+        """Batch form of :meth:`report_read`: one TTL shared by all ``keys``.
+
+        The read pipeline reports every member record of an object-list
+        result with the same private TTL; resolving the clock once amortises
+        the per-key bookkeeping and keeps batch and single-key reads on one
+        code path.
+        """
+        timestamp = self.now() if read_time is None else read_time
+        for key in keys:
+            self.report_read(key, ttl, timestamp)
 
     def report_invalidation(self, key: str, invalidation_time: Optional[float] = None) -> bool:
         """Mark ``key`` stale if any cache may still be holding it.
@@ -182,6 +199,11 @@ class ExpiringBloomFilter:
         """Return the flat client copy of the filter (a plain Bloom filter)."""
         self.expire(self.now() if now is None else now)
         return self._filter.to_flat()
+
+    def fill_ratio(self) -> float:
+        """Fraction of filter slots currently occupied (no snapshot copy)."""
+        self.expire()
+        return self._filter.fill_ratio()
 
     def statistics(self) -> EBFStatistics:
         """Return a statistics snapshot for monitoring and benchmarks."""

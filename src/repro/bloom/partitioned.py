@@ -9,8 +9,9 @@ to lower the overall false positive rate at the cost of more transfers.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional
 
+from repro.bloom import hashing
 from repro.bloom.bloom_filter import BloomFilter
 from repro.bloom.expiring import EBFStatistics, ExpiringBloomFilter
 from repro.bloom.sizing import PAPER_DEFAULT_BITS
@@ -48,11 +49,15 @@ class PartitionedExpiringBloomFilter:
         num_hashes: int = 4,
         clock: Optional[Clock] = None,
         router: PartitionRouter = default_router,
+        hash_scheme: str = hashing.DEFAULT_SCHEME,
     ) -> None:
         if num_bits <= 0 or num_hashes <= 0:
             raise ValueError("filter geometry must be positive")
+        if hash_scheme not in hashing.WIRE_VERSION_BY_SCHEME:
+            raise ValueError(f"unknown hash scheme: {hash_scheme!r}")
         self.num_bits = int(num_bits)
         self.num_hashes = int(num_hashes)
+        self.hash_scheme = hash_scheme
         self._clock: Clock = clock if clock is not None else VirtualClock()
         self._router = router
         self._partitions: Dict[str, ExpiringBloomFilter] = {}
@@ -65,7 +70,10 @@ class PartitionedExpiringBloomFilter:
         partition = self._partitions.get(name)
         if partition is None:
             partition = ExpiringBloomFilter(
-                num_bits=self.num_bits, num_hashes=self.num_hashes, clock=self._clock
+                num_bits=self.num_bits,
+                num_hashes=self.num_hashes,
+                clock=self._clock,
+                hash_scheme=self.hash_scheme,
             )
             self._partitions[name] = partition
         return partition
@@ -88,6 +96,20 @@ class PartitionedExpiringBloomFilter:
 
     def report_read(self, key: str, ttl: float, read_time: Optional[float] = None) -> None:
         self.partition_for(key).report_read(key, ttl, read_time)
+
+    def report_read_many(
+        self, keys: Iterable[str], ttl: float, read_time: Optional[float] = None
+    ) -> None:
+        """Batch read reporting: group keys by partition, one call per table."""
+        grouped: Dict[str, List[str]] = {}
+        for key in keys:
+            grouped.setdefault(self._router(key), []).append(key)
+        for name, partition_keys in grouped.items():
+            # partition_for() routes by key; resolve the partition once per
+            # group via the first key (all keys in the group share the table).
+            self.partition_for(partition_keys[0]).report_read_many(
+                partition_keys, ttl, read_time
+            )
 
     def report_invalidation(self, key: str, invalidation_time: Optional[float] = None) -> bool:
         return self.partition_for(key).report_invalidation(key, invalidation_time)
@@ -114,17 +136,22 @@ class PartitionedExpiringBloomFilter:
 
     def to_flat(self, now: Optional[float] = None) -> BloomFilter:
         """The aggregated filter: bitwise OR over all partition snapshots."""
-        aggregate = BloomFilter(self.num_bits, self.num_hashes)
-        for partition in self._partitions.values():
-            aggregate = aggregate | partition.to_flat(now)
-        return aggregate
+        if not self._partitions:
+            return BloomFilter(self.num_bits, self.num_hashes, self.hash_scheme)
+        return BloomFilter.union_all(
+            [partition.to_flat(now) for partition in self._partitions.values()]
+        )
 
     def to_flat_partition(self, name: str, now: Optional[float] = None) -> BloomFilter:
         """A single table's flat filter (lower false positive rate per table)."""
         partition = self._partitions.get(name)
         if partition is None:
-            return BloomFilter(self.num_bits, self.num_hashes)
+            return BloomFilter(self.num_bits, self.num_hashes, self.hash_scheme)
         return partition.to_flat(now)
+
+    def fill_ratio(self) -> float:
+        """Fill of the aggregated (client-visible) filter."""
+        return self.to_flat().fill_ratio()
 
     def statistics(self) -> EBFStatistics:
         """Aggregated statistics over all partitions."""

@@ -10,7 +10,7 @@ opt-in causal/strong consistency levels described in Section 3.2 of the paper.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.bloom.bloom_filter import BloomFilter
 from repro.caching.expiration import ExpirationCache
@@ -291,6 +291,24 @@ class QuaestorClient:
         if key in self.whitelist:
             return False
         return self._bloom.contains(key)
+
+    def potentially_stale(self, keys: Sequence[str]) -> List[bool]:
+        """Batch staleness precheck: one flag per key, in input order.
+
+        Uses the Bloom filter's batch membership test
+        (:meth:`~repro.bloom.BloomFilter.contains_all`) so bulk flows --
+        prefetchers, subscription reconciliation, benchmark drivers --
+        can triage many keys against one filter snapshot without paying the
+        per-call hashing overhead of :meth:`read`.  Whitelisted keys (read
+        or written since the last EBF refresh) report fresh, exactly like
+        the single-key path on :meth:`read` / :meth:`query`.
+        """
+        if not self.use_ebf or self._bloom is None:
+            return [False] * len(keys)
+        flags = self._bloom.contains_all(keys)
+        return [
+            flag and key not in self.whitelist for key, flag in zip(keys, flags)
+        ]
 
     def _origin_fetch(self, key: str) -> Response:
         """Resolve a cache key at the origin (the hierarchy's origin hook)."""

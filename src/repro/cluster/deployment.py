@@ -167,14 +167,15 @@ class QuaestorCluster:
 
         All shards share the same filter geometry (one config), so the union
         is a plain bitwise OR; a key invalidated on *any* shard flags the
-        merged cached result as potentially stale.
+        merged cached result as potentially stale.  The OR runs once over all
+        shard snapshots (:meth:`BloomFilter.union_all`) instead of allocating
+        one intermediate merged filter per shard.
         """
         self.counters.increment("ebf_downloads")
         now = self.clock.now()
-        merged = self.shards[0].server.ebf.to_flat(now)
-        for shard in self.shards[1:]:
-            merged = merged.union(shard.server.ebf.to_flat(now))
-        return merged
+        return BloomFilter.union_all(
+            [shard.server.ebf.to_flat(now) for shard in self.shards]
+        )
 
     # -- read path -----------------------------------------------------------------------
 

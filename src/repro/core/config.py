@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.bloom.hashing import DEFAULT_SCHEME, WIRE_VERSION_BY_SCHEME
 from repro.bloom.sizing import PAPER_DEFAULT_BITS
 from repro.errors import ConfigurationError
 from repro.ttl.base import TTLBounds
@@ -24,6 +25,9 @@ class QuaestorConfig:
     # -- Expiring Bloom Filter ------------------------------------------------------
     ebf_bits: int = PAPER_DEFAULT_BITS
     ebf_hashes: int = 4
+    #: Hash scheme of the EBF geometry (wire-versioned): ``"blake2"`` is the
+    #: fast default, ``"fnv"`` the legacy scheme for pre-blake2 payloads.
+    ebf_hash_scheme: str = DEFAULT_SCHEME
 
     # -- TTL estimation --------------------------------------------------------------
     ttl_quantile: float = 0.5
@@ -52,6 +56,11 @@ class QuaestorConfig:
     def __post_init__(self) -> None:
         if self.ebf_bits <= 0 or self.ebf_hashes <= 0:
             raise ConfigurationError("EBF geometry must be positive")
+        if self.ebf_hash_scheme not in WIRE_VERSION_BY_SCHEME:
+            raise ConfigurationError(
+                f"unknown EBF hash scheme: {self.ebf_hash_scheme!r} "
+                f"(known: {sorted(WIRE_VERSION_BY_SCHEME)})"
+            )
         if not 0.0 < self.ttl_quantile < 1.0:
             raise ConfigurationError("ttl_quantile must lie strictly between 0 and 1")
         if not 0.0 <= self.ewma_alpha < 1.0:

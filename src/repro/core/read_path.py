@@ -178,9 +178,8 @@ class ReadPipeline:
         """
         server = self.server
         server.ebf.report_read(ctx.cache_key, ctx.shared_ttl, ctx.now)
-        if ctx.representation is ResultRepresentation.OBJECT_LIST:
-            for member_key in ctx.member_keys:
-                server.ebf.report_read(member_key, ctx.ttl, ctx.now)
+        if ctx.representation is ResultRepresentation.OBJECT_LIST and ctx.member_keys:
+            server.ebf.report_read_many(ctx.member_keys, ctx.ttl, ctx.now)
 
     # -- orchestrations ----------------------------------------------------------------
 

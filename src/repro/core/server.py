@@ -103,6 +103,7 @@ class QuaestorServer:
                 num_bits=self.config.ebf_bits,
                 num_hashes=self.config.ebf_hashes,
                 clock=self._clock,
+                hash_scheme=self.config.ebf_hash_scheme,
             )
         )
         self.ttl_estimator: TTLEstimator = (
@@ -406,6 +407,7 @@ class QuaestorServer:
         snapshot["active_queries"] = len(self.active_list)
         snapshot["invalidb_active_queries"] = self.invalidb.active_queries
         snapshot["ebf_stale_keys"] = len(self.ebf)
+        snapshot["ebf_fill_ratio"] = self.ebf.fill_ratio()
         snapshot["admission_probes"] = self.capacity.probes
         snapshot["admission_commits"] = self.capacity.commits
         snapshot["admission_aborts"] = self.capacity.aborts

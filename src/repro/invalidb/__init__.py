@@ -15,6 +15,7 @@ linearly with the number of nodes.
 from __future__ import annotations
 
 from repro.invalidb.events import Notification, NotificationType
+from repro.invalidb.index import QueryStateIndex
 from repro.invalidb.matching import QueryMatchState
 from repro.invalidb.partitioning import PartitioningScheme
 from repro.invalidb.cluster import InvaliDBCluster, InvaliDBNode, NodeCapacityModel
@@ -24,6 +25,7 @@ __all__ = [
     "Notification",
     "NotificationType",
     "QueryMatchState",
+    "QueryStateIndex",
     "PartitioningScheme",
     "InvaliDBCluster",
     "InvaliDBNode",

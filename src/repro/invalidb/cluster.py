@@ -10,6 +10,7 @@ from repro.db.documents import Document
 from repro.db.query import Query
 from repro.errors import UnsupportedOperationError
 from repro.invalidb.events import Notification
+from repro.invalidb.index import QueryStateIndex
 from repro.invalidb.matching import QueryMatchState
 from repro.invalidb.partitioning import PartitioningScheme
 
@@ -69,13 +70,14 @@ class InvaliDBNode:
         object_partition: int,
         scheme: PartitioningScheme,
         capacity_model: NodeCapacityModel,
+        use_matching_index: bool = True,
     ) -> None:
         self.node_index = node_index
         self.query_partition = query_partition
         self.object_partition = object_partition
         self._scheme = scheme
         self.capacity_model = capacity_model
-        self._states: Dict[str, QueryMatchState] = {}
+        self._index = QueryStateIndex(use_matching_index)
         self.match_operations = 0
 
     # -- query lifecycle -------------------------------------------------------------
@@ -86,28 +88,36 @@ class InvaliDBNode:
             query, member_filter=self._scheme.member_filter(self.object_partition)
         )
         state.initialize(initial_result)
-        self._states[query.cache_key] = state
+        self._index.register(query, state)
         return state
 
     def deregister(self, query_key: str) -> bool:
-        return self._states.pop(query_key, None) is not None
+        return self._index.deregister(query_key)
 
     @property
     def active_queries(self) -> int:
-        return len(self._states)
+        return len(self._index)
 
     # -- matching ----------------------------------------------------------------------
 
     def process(self, event: ChangeEvent) -> List[Notification]:
-        """Match ``event`` against every query registered on this node."""
+        """Match ``event`` against the candidate queries registered on this node.
+
+        The :class:`~repro.invalidb.index.QueryStateIndex` narrows the event
+        to the states whose collection (and, for equality predicates, whose
+        indexed attribute value) could react; each candidate still runs its
+        full predicate, so the emitted notifications are identical to the
+        legacy scan over every registered state.  ``match_operations`` counts
+        the query evaluations actually performed.
+        """
         notifications: List[Notification] = []
-        for state in self._states.values():
+        for state in self._index.candidates(event):
             self.match_operations += 1
             notifications.extend(state.process(event))
         return notifications
 
     def state(self, query_key: str) -> Optional[QueryMatchState]:
-        return self._states.get(query_key)
+        return self._index.get(query_key)
 
     def __repr__(self) -> str:
         return (
@@ -130,9 +140,11 @@ class InvaliDBCluster:
         matching_nodes: int = 1,
         scheme: Optional[PartitioningScheme] = None,
         capacity_model: Optional[NodeCapacityModel] = None,
+        use_matching_index: bool = True,
     ) -> None:
         self.scheme = scheme if scheme is not None else PartitioningScheme.for_nodes(matching_nodes)
         self.capacity_model = capacity_model if capacity_model is not None else NodeCapacityModel()
+        self.use_matching_index = use_matching_index
         self.nodes: List[InvaliDBNode] = []
         for query_partition in range(self.scheme.query_partitions):
             for object_partition in range(self.scheme.object_partitions):
@@ -144,10 +156,11 @@ class InvaliDBCluster:
                         object_partition,
                         self.scheme,
                         self.capacity_model,
+                        use_matching_index=use_matching_index,
                     )
                 )
         # Order-maintenance layer for stateful queries, partitioned by query.
-        self._stateful_states: Dict[str, QueryMatchState] = {}
+        self._stateful_states = QueryStateIndex(use_matching_index)
         self._stateful_home_node: Dict[str, int] = {}
         self._registered: Dict[str, Query] = {}
         self._handlers: List[NotificationHandler] = []
@@ -182,7 +195,7 @@ class InvaliDBCluster:
         if query.is_stateful:
             state = QueryMatchState(query)
             state.initialize(initial_result)
-            self._stateful_states[query.cache_key] = state
+            self._stateful_states.register(query, state)
             # For cost accounting the query is "homed" on one grid node.
             home = self.scheme.node_index(
                 self.scheme.query_partition(query.cache_key), 0
@@ -195,7 +208,7 @@ class InvaliDBCluster:
     def deregister_query(self, query_key: str) -> bool:
         """Deactivate a query (e.g. when it is evicted from the active list)."""
         existed = self._registered.pop(query_key, None) is not None
-        self._stateful_states.pop(query_key, None)
+        self._stateful_states.deregister(query_key)
         self._stateful_home_node.pop(query_key, None)
         for node in self.nodes:
             node.deregister(query_key)
@@ -211,12 +224,19 @@ class InvaliDBCluster:
     # -- matching -----------------------------------------------------------------------------
 
     def process_event(self, event: ChangeEvent) -> List[Notification]:
-        """Match one after-image against all registered queries."""
+        """Match one after-image against the candidate registered queries.
+
+        Candidate pruning (per-collection and per-attribute-value indexes,
+        see :mod:`repro.invalidb.index`) narrows the fan-out; the emitted
+        notification stream is identical to evaluating every registered
+        query.  Pass ``use_matching_index=False`` to the constructor to run
+        the legacy full scan instead.
+        """
         self.events_processed += 1
         notifications: List[Notification] = []
         for node_index in self.scheme.nodes_for_document(event.document_id):
             notifications.extend(self.nodes[node_index].process(event))
-        for state in self._stateful_states.values():
+        for state in self._stateful_states.candidates(event):
             notifications.extend(state.process(event))
         self.notifications_emitted += len(notifications)
         for notification in notifications:

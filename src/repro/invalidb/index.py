@@ -1,0 +1,276 @@
+"""Candidate index over registered query states.
+
+``InvaliDBNode.process`` used to evaluate every registered
+:class:`~repro.invalidb.matching.QueryMatchState` against every change event;
+each state then discarded events for foreign collections itself.  At a
+thousand registered queries that is a thousand Python calls per event for a
+handful of actual matches.  :class:`QueryStateIndex` prunes the fan-out the
+same way the paper's cascade principle prunes expensive predicates with cheap
+filters: a per-collection index narrows an event to the states that could
+possibly react, and a per-attribute-value index narrows further for queries
+with equality predicates.
+
+Correctness invariant: :meth:`QueryStateIndex.candidates` must return a
+*superset* of the states whose ``process(event)`` would emit a notification,
+in the exact order the legacy full scan would have visited them -- the
+notification stream stays byte-for-byte identical (each state still performs
+its own full predicate evaluation).  The superset argument for the equality
+index:
+
+* A state is indexed under ``(collection, field) -> value`` only when
+  ``field == value`` is a *necessary* condition of its predicate (a top-level
+  equality criterion; top-level criteria are conjunctive).
+* An event can produce a notification only if its after-image matches now
+  (ADD/CHANGE) or its document matched before (REMOVE/DELETE).  In the first
+  case the after-image carries ``value`` under ``field`` (directly or as an
+  array element); in the second case the before-image does, because the
+  document's last processed image matched the predicate.
+
+Fields whose equality value is unhashable, ``None`` (matches missing fields),
+or NaN, and predicates on dotted paths, are never indexed -- such states stay
+in the per-collection scan bucket, which is always consulted.
+
+The superset argument assumes the change-stream contract the repository's
+:class:`~repro.db.changestream.ChangeStream` provides: every event's
+``before`` image is the last image delivered for that document, and ``None``
+exactly when the document is new to the stream (INSERT).  An at-least-once
+transport that redelivers INSERT events for already-tracked documents breaks
+that assumption for *both* the index and the legacy scan (the scan would
+then emit notifications from a stale matching set); such transports must
+deduplicate on ``event.sequence`` before ingestion.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.db.changestream import ChangeEvent, OperationType
+from repro.db.query import Query
+from repro.invalidb.matching import QueryMatchState
+
+#: Sentinel distinguishing "field absent" from "field is None".
+_MISSING = object()
+
+
+def equality_predicate(query: Query) -> Optional[Tuple[str, Any]]:
+    """The ``(field, value)`` equality condition to index ``query`` under.
+
+    Returns the first (in sorted field order, for determinism) top-level
+    criterion of the form ``{field: scalar}`` or ``{field: {"$eq": scalar}}``
+    whose value is safely indexable, or ``None`` when the query has no such
+    condition.  Only *necessary* conditions qualify: top-level criteria are
+    ANDed, so any one of them may serve as the index key.
+    """
+    for field in sorted(query.criteria):
+        if field.startswith("$") or "." in field:
+            continue
+        condition = query.criteria[field]
+        if isinstance(condition, dict):
+            if "$eq" not in condition:
+                continue
+            value = condition["$eq"]
+        else:
+            value = condition
+        if _indexable_value(value):
+            return field, value
+    return None
+
+
+def _indexable_value(value: Any) -> bool:
+    """Whether ``value`` can serve as an exact-lookup index key.
+
+    ``None`` also matches *missing* fields and NaN compares unequal to
+    itself, so both would break the superset invariant; containers are
+    unhashable or carry whole-array equality semantics.
+    """
+    if isinstance(value, bool) or isinstance(value, (str, int)):
+        return True
+    return isinstance(value, float) and not math.isnan(value)
+
+
+def _lookup_values(image: Optional[Dict[str, Any]], field: str) -> Iterator[Any]:
+    """The index-key candidates an image contributes for ``field``.
+
+    A scalar field value is looked up directly; an array value fans out over
+    its scalar elements (MongoDB's "array contains" equality).
+    """
+    if image is None:
+        return
+    value = image.get(field, _MISSING)
+    if value is _MISSING:
+        return
+    if isinstance(value, list):
+        for element in value:
+            if _indexable_value(element):
+                yield element
+    elif _indexable_value(value):
+        yield value
+
+
+class QueryStateIndex:
+    """Registration-ordered registry of query states with candidate pruning.
+
+    Maintains the same mapping the old ``Dict[str, QueryMatchState]`` held,
+    plus two secondary structures kept in sync on register/deregister:
+
+    * ``collection -> states`` for queries without an indexable equality
+      predicate (always scanned for events of that collection), and
+    * ``(collection, field) -> value -> states`` for queries with one.
+
+    ``use_index=False`` disables pruning entirely -- :meth:`candidates` then
+    degenerates to the legacy full scan, which the hot-path benchmark uses as
+    its measured baseline and the golden tests use as the reference stream.
+    """
+
+    def __init__(self, use_index: bool = True) -> None:
+        self.use_index = use_index
+        self._states: Dict[str, QueryMatchState] = {}
+        self._order: Dict[str, int] = {}
+        self._next_order = 0
+        #: collection -> {query_key: state} for non-equality-indexable queries.
+        self._scan_bucket: Dict[str, Dict[str, QueryMatchState]] = {}
+        #: (collection, field) -> value -> {query_key: state}.
+        self._eq_index: Dict[Tuple[str, str], Dict[Any, Dict[str, QueryMatchState]]] = {}
+        #: collection -> {field: reference count} of indexed equality fields.
+        self._eq_fields: Dict[str, Dict[str, int]] = {}
+        #: query_key -> (collection, field, value) placement for deregister.
+        self._placement: Dict[str, Tuple[str, Optional[str], Any]] = {}
+
+    # -- registry ------------------------------------------------------------------
+
+    def register(self, query: Query, state: QueryMatchState) -> None:
+        """Install ``state`` under ``query``'s cache key, indexing its predicate.
+
+        Re-registering an existing key replaces the state in place (keeping
+        its original scan position, like plain dict assignment did).
+        """
+        key = query.cache_key
+        if key in self._states:
+            # Same cache key means same collection and criteria (aliased
+            # queries share the original's criteria), hence the same index
+            # placement: overwrite in place, preserving scan order exactly
+            # like plain dict assignment did.
+            self._states[key] = state
+            collection, field, value = self._placement[key]
+            if field is None:
+                self._scan_bucket[collection][key] = state
+            else:
+                self._eq_index[(collection, field)][value][key] = state
+            return
+        self._states[key] = state
+        self._order[key] = self._next_order
+        self._next_order += 1
+        collection = query.collection
+        predicate = equality_predicate(query)
+        if predicate is None:
+            self._scan_bucket.setdefault(collection, {})[key] = state
+            self._placement[key] = (collection, None, None)
+        else:
+            field, value = predicate
+            self._eq_index.setdefault((collection, field), {}).setdefault(value, {})[key] = state
+            fields = self._eq_fields.setdefault(collection, {})
+            fields[field] = fields.get(field, 0) + 1
+            self._placement[key] = (collection, field, value)
+
+    def deregister(self, query_key: str) -> bool:
+        """Remove a state and all its index entries; ``True`` if it existed."""
+        state = self._states.pop(query_key, None)
+        if state is None:
+            return False
+        del self._order[query_key]
+        collection, field, value = self._placement.pop(query_key)
+        if field is None:
+            bucket = self._scan_bucket[collection]
+            del bucket[query_key]
+            if not bucket:
+                del self._scan_bucket[collection]
+        else:
+            by_value = self._eq_index[(collection, field)]
+            bucket = by_value[value]
+            del bucket[query_key]
+            if not bucket:
+                del by_value[value]
+                if not by_value:
+                    del self._eq_index[(collection, field)]
+            fields = self._eq_fields[collection]
+            fields[field] -= 1
+            if fields[field] == 0:
+                del fields[field]
+                if not fields:
+                    del self._eq_fields[collection]
+        return True
+
+    def get(self, query_key: str) -> Optional[QueryMatchState]:
+        return self._states.get(query_key)
+
+    def states(self) -> List[QueryMatchState]:
+        """All registered states in registration order."""
+        return list(self._states.values())
+
+    def __contains__(self, query_key: str) -> bool:
+        return query_key in self._states
+
+    def __len__(self) -> int:
+        return len(self._states)
+
+    # -- candidate pruning ----------------------------------------------------------
+
+    def candidates(self, event: ChangeEvent) -> List[QueryMatchState]:
+        """The states that could possibly emit a notification for ``event``.
+
+        Returned in registration order -- the order the legacy full scan
+        evaluated them in -- so downstream notification streams are
+        unchanged.  With ``use_index=False`` this *is* the full scan.
+        """
+        if not self.use_index:
+            return list(self._states.values())
+        collection = event.collection
+        scan = self._scan_bucket.get(collection)
+        eq_fields = self._eq_fields.get(collection)
+        if not eq_fields:
+            # Bucket dicts preserve registration order among themselves.
+            return list(scan.values()) if scan else []
+        if event.before is None and event.operation is not OperationType.INSERT:
+            # Defensive: without a before-image the equality index cannot
+            # prove which previously matching states are affected.  Fall back
+            # to every state of the collection (never happens with the
+            # repo's change stream, which always carries before-images).
+            found = dict(scan) if scan else {}
+            for state in self._states.values():
+                if state.query.collection == collection:
+                    found.setdefault(state.query_key, state)
+            order = self._order
+            return sorted(found.values(), key=lambda state: order[state.query_key])
+
+        eq_found: Dict[str, QueryMatchState] = {}
+        for field in eq_fields:
+            by_value = self._eq_index.get((collection, field))
+            if not by_value:
+                continue
+            for image in (event.before, event.after):
+                for value in _lookup_values(image, field):
+                    bucket = by_value.get(value)
+                    if bucket:
+                        eq_found.update(bucket)
+        scan_states = list(scan.values()) if scan else []
+        if not eq_found:
+            return scan_states
+        order = self._order
+        # Equality hits are few; sort only those and merge with the (already
+        # registration-ordered) scan bucket instead of sorting everything.
+        eq_states = sorted(eq_found.values(), key=lambda state: order[state.query_key])
+        if not scan_states:
+            return eq_states
+        merged: List[QueryMatchState] = []
+        append = merged.append
+        position = 0
+        total = len(scan_states)
+        for state in eq_states:
+            rank = order[state.query_key]
+            while position < total and order[scan_states[position].query_key] < rank:
+                append(scan_states[position])
+                position += 1
+            append(state)
+        merged.extend(scan_states[position:])
+        return merged

@@ -1,0 +1,153 @@
+"""Batch APIs, whole-array bit operations and scheme plumbing of the Bloom stack."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bloom import (
+    BloomFilter,
+    CountingBloomFilter,
+    ExpiringBloomFilter,
+    SCHEME_BLAKE2,
+    SCHEME_FNV,
+)
+from repro.bloom import hashing
+from repro.clock import VirtualClock
+
+KEYS = [f"record:posts/{index}" for index in range(64)]
+ABSENT = [f"record:posts/absent-{index}" for index in range(64)]
+
+
+class TestBatchApis:
+    @pytest.mark.parametrize("scheme", [SCHEME_FNV, SCHEME_BLAKE2])
+    def test_add_all_equals_repeated_add(self, scheme):
+        batch = BloomFilter(2048, 4, hash_scheme=scheme)
+        batch.add_all(KEYS)
+        single = BloomFilter(2048, 4, hash_scheme=scheme)
+        for key in KEYS:
+            single.add(key)
+        assert batch.to_bytes() == single.to_bytes()
+        assert len(batch) == len(single) == len(KEYS)
+
+    @pytest.mark.parametrize("scheme", [SCHEME_FNV, SCHEME_BLAKE2])
+    def test_contains_all_equals_repeated_contains(self, scheme):
+        bloom = BloomFilter(2048, 4, hash_scheme=scheme)
+        bloom.add_all(KEYS)
+        probes = KEYS + ABSENT
+        assert bloom.contains_all(probes) == [bloom.contains(key) for key in probes]
+
+    def test_counting_batch_apis(self):
+        counting = CountingBloomFilter(2048, 4)
+        counting.add_all(KEYS)
+        assert counting.contains_all(KEYS) == [True] * len(KEYS)
+        for key in KEYS:
+            assert counting.remove(key)
+        assert counting.nonzero_slots() == 0
+
+    def test_expiring_report_read_many_matches_singles(self):
+        clock = VirtualClock()
+        batch = ExpiringBloomFilter(num_bits=2048, num_hashes=4, clock=clock)
+        single = ExpiringBloomFilter(num_bits=2048, num_hashes=4, clock=clock)
+        batch.report_read_many(KEYS, ttl=10.0, read_time=0.0)
+        for key in KEYS:
+            single.report_read(key, ttl=10.0, read_time=0.0)
+        for key in KEYS:
+            assert batch.cacheable_until(key) == single.cacheable_until(key)
+            assert batch.report_invalidation(key, 1.0)
+            assert single.report_invalidation(key, 1.0)
+        assert batch.to_flat(1.0).to_bytes() == single.to_flat(1.0).to_bytes()
+
+    def test_expiring_report_read_many_rejects_negative_ttl(self):
+        ebf = ExpiringBloomFilter(num_bits=256, num_hashes=2)
+        with pytest.raises(ValueError):
+            ebf.report_read_many(["a"], ttl=-1.0)
+
+
+class TestWholeArrayOps:
+    def test_fill_ratio_matches_per_byte_reference(self):
+        bloom = BloomFilter(1024, 4)
+        bloom.add_all(KEYS)
+        reference = sum(bin(byte).count("1") for byte in bloom.to_bytes())
+        assert bloom.fill_ratio() == reference / 1024
+
+    def test_iter_set_bits_ascending_and_complete(self):
+        bloom = BloomFilter(512, 3)
+        bloom.add_all(KEYS[:10])
+        observed = list(bloom.iter_set_bits())
+        assert observed == sorted(observed)
+        payload = bloom.to_bytes()
+        expected = [
+            index
+            for index in range(512)
+            if payload[index >> 3] & (1 << (index & 7))
+        ]
+        assert observed == expected
+
+    def test_union_matches_per_byte_reference(self):
+        left = BloomFilter(1024, 4)
+        right = BloomFilter(1024, 4)
+        left.add_all(KEYS[:32])
+        right.add_all(KEYS[32:])
+        merged = left | right
+        reference = bytes(a | b for a, b in zip(left.to_bytes(), right.to_bytes()))
+        assert merged.to_bytes() == reference
+
+    def test_union_all_matches_pairwise_unions(self):
+        filters = []
+        for start in range(0, 64, 16):
+            bloom = BloomFilter(1024, 4)
+            bloom.add_all(KEYS[start : start + 16])
+            filters.append(bloom)
+        pairwise = filters[0]
+        for other in filters[1:]:
+            pairwise = pairwise | other
+        merged = BloomFilter.union_all(filters)
+        assert merged.to_bytes() == pairwise.to_bytes()
+        assert len(merged) == 64
+
+    def test_union_all_requires_filters_and_same_geometry(self):
+        with pytest.raises(ValueError):
+            BloomFilter.union_all([])
+        with pytest.raises(ValueError):
+            BloomFilter.union_all([BloomFilter(128, 4), BloomFilter(256, 4)])
+
+    def test_union_rejects_mixed_schemes(self):
+        legacy = BloomFilter(256, 4, hash_scheme=SCHEME_FNV)
+        fast = BloomFilter(256, 4, hash_scheme=SCHEME_BLAKE2)
+        with pytest.raises(ValueError):
+            legacy.union(fast)
+
+
+class TestSchemePlumbing:
+    def test_counting_fill_ratio_tracks_flat(self):
+        counting = CountingBloomFilter(1024, 4)
+        counting.add_all(KEYS[:16])
+        assert counting.fill_ratio() == counting.to_flat().fill_ratio()
+
+    def test_expiring_fill_ratio_without_copy(self):
+        ebf = ExpiringBloomFilter(num_bits=1024, num_hashes=4)
+        ebf.report_read("key", ttl=100.0, read_time=0.0)
+        assert ebf.report_invalidation("key", 1.0)
+        assert ebf.fill_ratio() == ebf.to_flat(1.0).fill_ratio() > 0.0
+
+    def test_legacy_scheme_propagates_through_stack(self):
+        ebf = ExpiringBloomFilter(num_bits=1024, num_hashes=4, hash_scheme=SCHEME_FNV)
+        ebf.report_read("key", ttl=100.0, read_time=0.0)
+        assert ebf.report_invalidation("key", 1.0)
+        flat = ebf.to_flat(1.0)
+        assert flat.hash_scheme == SCHEME_FNV
+        assert flat.wire_version == 1
+        assert flat.contains("key")
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError):
+            BloomFilter(128, 4, hash_scheme="md5")
+        with pytest.raises(ValueError):
+            hashing.hash_pair("key", "md5")
+
+    def test_hash_pair_cache_serves_hits(self):
+        hashing.clear_hash_pair_cache()
+        hashing.hash_pair("cached-key")
+        before = hashing.hash_pair_cache_info().hits
+        hashing.hash_pair("cached-key")
+        assert hashing.hash_pair_cache_info().hits == before + 1

@@ -1,0 +1,213 @@
+"""Golden hash vectors pinning wire compatibility across the hashing rework.
+
+The values below were captured from the pre-blake2 implementation (pure
+per-byte FNV-1a).  They guarantee three compatibility properties:
+
+* ``fnv1a_64`` / legacy-scheme ``hash_pair`` / legacy ``positions`` are
+  byte-for-byte what they were, so filters serialized before the rework
+  deserialize with ``hash_scheme=SCHEME_FNV`` (wire version 1) and answer
+  membership exactly as when they were written.
+* ``stable_uint64`` / ``mixed_uint64`` are unchanged, so consistent-hash
+  ring placement and grid partitioning did not move.
+* The blake2 vectors pin the *new* scheme (wire version 2) so any future
+  change to it is caught the same way.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bloom import hashing
+from repro.bloom.bloom_filter import BloomFilter
+
+#: key -> (fnv1a_64, mixed_uint64, legacy h2, legacy positions(key, 4, 11680))
+#: captured from the pre-rework implementation.
+LEGACY_VECTORS = {
+    "record:posts/1": (
+        5211827933553280589,
+        8864720829329768974,
+        13288363070606427285,
+        [589, 5794, 10999, 4524],
+    ),
+    "record:posts/42": (
+        14819961067862807348,
+        13250860115081672949,
+        5038151899078560011,
+        [1588, 2239, 2890, 3541],
+    ),
+    "record:users/alice": (
+        14440190778667258321,
+        9616544398544815375,
+        15705419558463796225,
+        [8081, 8786, 9491, 10196],
+    ),
+    'query:{"c":"posts","l":null,"o":0,"q":{"tags":"example"},"s":[]}': (
+        10835346583316893828,
+        17172030000890905864,
+        128178259144712673,
+        [2468, 11301, 8454, 5607],
+    ),
+    "a": (
+        12638187200555641996,
+        9413272369427828315,
+        8691452747775473151,
+        [9836, 2187, 6218, 10249],
+    ),
+    "quaestor": (
+        15810328381429036443,
+        5400911916018903619,
+        1514497912698754391,
+        [3643, 9874, 4425, 10656],
+    ),
+    "key-0": (
+        8147957248299270233,
+        1734865316076021129,
+        6360567615894030191,
+        [2873, 10984, 7415, 3846],
+    ),
+    "": (
+        14695981039346656037,
+        17280346270528514342,
+        9521211207457086693,
+        [6597, 8010, 9423, 10836],
+    ),
+    "unicode-éèü": (
+        862559248993790971,
+        1295929929781238761,
+        13285695350945182119,
+        [4091, 3170, 2249, 1328],
+    ),
+}
+
+#: key -> (h1, h2, positions(key, 4, 11680)) for the blake2 scheme, pinning
+#: wire version 2 against future drift.
+BLAKE2_VECTORS = {
+    "record:posts/1": (
+        11330858912190745905,
+        17316395185222204361,
+        [9585, 4826, 67, 6988],
+    ),
+    "record:posts/42": (
+        6686027711575306086,
+        9514964633752832705,
+        [166, 7431, 3016, 10281],
+    ),
+    "record:users/alice": (
+        12920567023190652299,
+        12981859889237157743,
+        [9739, 11002, 585, 1848],
+    ),
+    'query:{"c":"posts","l":null,"o":0,"q":{"tags":"example"},"s":[]}': (
+        11687478497307920600,
+        8346702662611760229,
+        [3800, 2589, 1378, 167],
+    ),
+    "a": (2865237616951003007, 3018927179322247551, [10367, 3678, 8669, 1980]),
+    "quaestor": (
+        18121343791218615870,
+        11382520936468759985,
+        [9470, 10415, 11360, 625],
+    ),
+    "key-0": (1740346382425233407, 16023458911895561953, [7967, 10400, 1153, 3586]),
+    "": (14620488971855052096, 5642315946650924657, [2976, 5073, 7170, 9267]),
+    "unicode-éèü": (
+        7537462108870571083,
+        10813466631137359989,
+        [523, 4352, 8181, 330],
+    ),
+}
+
+CORPUS = list(LEGACY_VECTORS)
+
+#: ``BloomFilter(512, 4, scheme).add_all(CORPUS).to_bytes().hex()`` per scheme.
+#: The FNV payload is what the pre-rework code produced for this corpus.
+GOLDEN_PAYLOAD_HEX = {
+    hashing.SCHEME_FNV: (
+        "00140000800000804022200220000000101e0000400000000000000004800500"
+        "00000000200090000006000000008000000000080500000000011e0000000008"
+    ),
+    hashing.SCHEME_BLAKE2: (
+        "8000000084000040000800000002002000100800040000000900000101010044"
+        "0000000000002220010002004000008000080000050602000200000100800090"
+    ),
+}
+
+
+class TestLegacyVectors:
+    @pytest.mark.parametrize("key", CORPUS)
+    def test_fnv1a_64_pinned(self, key):
+        assert hashing.fnv1a_64(key.encode("utf-8")) == LEGACY_VECTORS[key][0]
+
+    @pytest.mark.parametrize("key", CORPUS)
+    def test_stable_and_mixed_uint64_pinned(self, key):
+        expected_fnv, expected_mixed, _, _ = LEGACY_VECTORS[key]
+        assert hashing.stable_uint64(key) == expected_fnv
+        assert hashing.mixed_uint64(key) == expected_mixed
+
+    @pytest.mark.parametrize("key", CORPUS)
+    def test_legacy_hash_pair_pinned(self, key):
+        expected_fnv, _, expected_h2, _ = LEGACY_VECTORS[key]
+        assert hashing.hash_pair(key, hashing.SCHEME_FNV) == (expected_fnv, expected_h2)
+
+    @pytest.mark.parametrize("key", CORPUS)
+    def test_legacy_positions_pinned(self, key):
+        assert (
+            hashing.positions(key, 4, 11680, hashing.SCHEME_FNV)
+            == LEGACY_VECTORS[key][3]
+        )
+
+
+class TestBlake2Vectors:
+    @pytest.mark.parametrize("key", CORPUS)
+    def test_hash_pair_pinned(self, key):
+        h1, h2, _ = BLAKE2_VECTORS[key]
+        assert hashing.hash_pair(key, hashing.SCHEME_BLAKE2) == (h1, h2)
+        # The default scheme is blake2.
+        assert hashing.hash_pair(key) == (h1, h2)
+
+    @pytest.mark.parametrize("key", CORPUS)
+    def test_positions_pinned(self, key):
+        assert hashing.positions(key, 4, 11680) == BLAKE2_VECTORS[key][2]
+
+
+class TestSerializedPayloads:
+    @pytest.mark.parametrize("scheme", sorted(GOLDEN_PAYLOAD_HEX))
+    def test_payload_byte_identity(self, scheme):
+        """Building the corpus filter reproduces the pinned payload exactly."""
+        bloom = BloomFilter(512, 4, hash_scheme=scheme)
+        bloom.add_all(CORPUS)
+        assert bloom.to_bytes().hex() == GOLDEN_PAYLOAD_HEX[scheme]
+
+    def test_batch_and_single_add_set_identical_bits(self):
+        for scheme in GOLDEN_PAYLOAD_HEX:
+            single = BloomFilter(512, 4, hash_scheme=scheme)
+            for key in CORPUS:
+                single.add(key)
+            assert single.to_bytes().hex() == GOLDEN_PAYLOAD_HEX[scheme]
+
+    def test_legacy_payload_roundtrip_membership(self):
+        """A pre-rework payload still answers membership when loaded as v1."""
+        payload = bytes.fromhex(GOLDEN_PAYLOAD_HEX[hashing.SCHEME_FNV])
+        restored = BloomFilter.from_bytes(payload, 512, 4, wire_version=1)
+        assert restored.hash_scheme == hashing.SCHEME_FNV
+        assert all(restored.contains_all(CORPUS))
+
+    def test_wire_version_mapping(self):
+        assert hashing.scheme_for_wire_version(1) == hashing.SCHEME_FNV
+        assert hashing.scheme_for_wire_version(2) == hashing.SCHEME_BLAKE2
+        assert BloomFilter(64, 2, hashing.SCHEME_FNV).wire_version == 1
+        assert BloomFilter(64, 2).wire_version == 2
+        with pytest.raises(ValueError):
+            hashing.scheme_for_wire_version(99)
+        with pytest.raises(ValueError):
+            BloomFilter.from_bytes(b"\x00" * 8, 64, 2, hash_scheme="fnv", wire_version=2)
+
+    def test_schemes_are_not_interchangeable(self):
+        """Loading v1 bits under the v2 scheme must not claim membership.
+
+        This is exactly why the geometry is versioned: the bit pattern only
+        means something under the scheme that produced it.
+        """
+        payload = bytes.fromhex(GOLDEN_PAYLOAD_HEX[hashing.SCHEME_FNV])
+        wrong = BloomFilter.from_bytes(payload, 512, 4, wire_version=2)
+        assert not all(wrong.contains_all(CORPUS))

@@ -117,7 +117,12 @@ class TestThroughputAccounting:
             server.handle_update("items", f"i{index}", {"$inc": {"price": 1}})
         after_ops = sum(node.match_operations for node in server.invalidb.nodes)
         stateless_queries = sum(1 for query in queries if not query.is_stateful)
-        assert after_ops - before_ops == 20 * stateless_queries
+        # The matching index prunes the fan-out: each price update touches the
+        # two range queries (never equality-indexable) plus the one category
+        # query whose indexed value appears in the before/after images -- not
+        # all eight stateless queries like the legacy full scan did.
+        assert after_ops - before_ops == 20 * 3
+        assert after_ops - before_ops < 20 * stateless_queries
 
     def test_estimated_latency_reported(self, world):
         cluster = world["server"].invalidb
