@@ -7,14 +7,18 @@
 #   make bench-hotpaths-check - budget-mode run gated against the committed
 #                               BENCH_hotpaths.json (fails when a speedup
 #                               ratio collapses >3x)
+#   make bench-sim       - end-to-end simulator throughput; rewrites BENCH_sim.json
+#   make bench-sim-check - budget-mode run gated against the committed
+#                          BENCH_sim.json (fails when a speedup ratio
+#                          collapses >3x)
 #   make docs-check      - fail if README.md or docs/ reference missing modules/files
 
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
 
-BENCH_FILES := $(filter-out benchmarks/bench_hotpaths.py,$(wildcard benchmarks/bench_*.py))
+BENCH_FILES := $(filter-out benchmarks/bench_hotpaths.py benchmarks/bench_sim_throughput.py,$(wildcard benchmarks/bench_*.py))
 
-.PHONY: test bench-smoke bench bench-hotpaths bench-hotpaths-check docs-check
+.PHONY: test bench-smoke bench bench-hotpaths bench-hotpaths-check bench-sim bench-sim-check docs-check
 
 test:
 	$(PYTEST) -x -q
@@ -30,6 +34,12 @@ bench-hotpaths:
 
 bench-hotpaths-check:
 	$(PYTHON) benchmarks/bench_hotpaths.py --budget --check BENCH_hotpaths.json
+
+bench-sim:
+	$(PYTHON) benchmarks/bench_sim_throughput.py
+
+bench-sim-check:
+	$(PYTHON) benchmarks/bench_sim_throughput.py --budget --check BENCH_sim.json
 
 docs-check:
 	$(PYTHON) scripts/docs_check.py

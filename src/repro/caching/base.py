@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Optional
+from typing import Any, Optional
 
 from repro.caching.entry import CacheEntry
 from repro.caching.stats import CacheStatistics
@@ -40,12 +40,11 @@ class WebCache:
 
     def lookup(self, key: str) -> Optional[CacheEntry]:
         """Return the fresh entry for ``key`` or ``None`` (counts hit/miss)."""
-        now = self._clock.now()
         entry = self._entries.get(key)
         if entry is None:
             self.stats.misses += 1
             return None
-        if not entry.is_fresh(now):
+        if not entry.is_fresh(self._clock.now()):
             self.stats.misses += 1
             self.stats.stale_hits += 1
             return None
@@ -82,6 +81,23 @@ class WebCache:
             stored_at=self._clock.now(),
             ttl=ttl,
         )
+        self._insert(key, entry)
+        return entry
+
+    def store_fresh(self, key: str, body: Any, etag: Optional[str], ttl: float) -> Optional[CacheEntry]:
+        """Fast-path store of an already-cacheable payload under ``ttl``.
+
+        Equivalent to wrapping ``body`` in a cacheable 200 :class:`Response`
+        with ``max-age=ttl`` and calling :meth:`store`, minus the Response
+        and Cache-Control object construction.  Callers that mint many
+        entries per operation (the SDK's object-list record side-caching)
+        use this; anything carrying real header semantics goes through
+        :meth:`store`.  Note the TTL is applied as-is -- the shared/private
+        distinction was already resolved by the caller.
+        """
+        if ttl <= 0:
+            return None
+        entry = CacheEntry(key=key, body=body, etag=etag, stored_at=self._clock.now(), ttl=ttl)
         self._insert(key, entry)
         return entry
 

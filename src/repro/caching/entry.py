@@ -6,9 +6,14 @@ from dataclasses import dataclass
 from typing import Any, Optional
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheEntry:
-    """A cached representation of one resource (record or query result)."""
+    """A cached representation of one resource (record or query result).
+
+    ``__slots__`` keeps the per-entry footprint small and construction cheap:
+    web caches create one of these for every store, and the simulator's
+    object-list side-effect caching stores one per member record per query.
+    """
 
     key: str
     body: Any

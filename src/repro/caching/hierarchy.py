@@ -49,9 +49,13 @@ OriginFunction = Callable[[str], Response]
 ORIGIN_LEVEL = "origin"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FetchResult:
-    """Outcome of a hierarchy fetch."""
+    """Outcome of a hierarchy fetch.
+
+    ``__slots__`` (one instance is minted per simulated read) while staying a
+    frozen dataclass: hashable, immutable, value-compared.
+    """
 
     key: str
     body: Any
@@ -73,6 +77,14 @@ class CacheHierarchy:
             raise ValueError(f"cache level names must be unique, got {names}")
         self._levels: List[Tuple[str, WebCache]] = list(levels)
         self._origin = origin
+        # Fast-path bindings, fixed for the hierarchy's lifetime: name-indexed
+        # lookup (names validated unique above) and a prebound (name, cache,
+        # may-serve-revalidation) list so fetch() does not re-dispatch the
+        # ``supports_purge`` property per level per request.
+        self._by_name = dict(self._levels)
+        self._serve_plan: List[Tuple[str, WebCache, bool]] = [
+            (name, cache, self._may_serve_revalidation(cache)) for name, cache in self._levels
+        ]
 
     # -- introspection -------------------------------------------------------------
 
@@ -82,10 +94,10 @@ class CacheHierarchy:
 
     def cache(self, name: str) -> WebCache:
         """Return the cache registered under ``name``."""
-        for level_name, cache in self._levels:
-            if level_name == name:
-                return cache
-        raise KeyError(f"no cache level named {name!r}")
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(f"no cache level named {name!r}") from None
 
     def caches(self) -> List[WebCache]:
         return [cache for _name, cache in self._levels]
@@ -110,38 +122,40 @@ class CacheHierarchy:
             Force the request through to the origin regardless of cache
             freshness (used for strong consistency / linearizable reads).
         """
-        hit: Optional[Tuple[str, WebCache]] = None
-        consulted: List[Tuple[str, WebCache]] = []
-        for name, cache in self._levels:
-            consulted.append((name, cache))
-            if bypass_all_caches:
-                # The request races past every cache; no lookup is attempted.
-                continue
-            if revalidate and not self._may_serve_revalidation(cache):
-                # Expiration-based caches are bypassed but will be refreshed
-                # by the response on its way back to the client.
-                continue
-            entry = cache.lookup(key)
-            if entry is not None:
-                hit = (name, cache)
-                result_body, result_etag = entry.body, entry.etag
-                break
+        plan = self._serve_plan
+        hit_index = -1
+        hit_entry = None
+        if not bypass_all_caches:
+            # The request races past every cache when bypassing; otherwise it
+            # walks the prebound plan until a servable fresh entry answers.
+            for index, (_name, cache, serves_revalidation) in enumerate(plan):
+                if revalidate and not serves_revalidation:
+                    # Expiration-based caches are bypassed but will be
+                    # refreshed by the response on its way back to the client.
+                    continue
+                entry = cache.lookup(key)
+                if entry is not None:
+                    hit_index = index
+                    hit_entry = entry
+                    break
 
-        if hit is None:
+        if hit_entry is None:
             response = self._origin(key)
             result_body, result_etag = response.body, response.etag
             level = ORIGIN_LEVEL
-            self._populate(consulted, key, response)
+            self._populate(self._levels, key, response)
         else:
-            level = hit[0]
-            self._refresh_downstream(consulted[:-1], key, hit[1])
+            hit_name, hit_cache, _serves = plan[hit_index]
+            result_body, result_etag = hit_entry.body, hit_entry.etag
+            level = hit_name
+            self._refresh_downstream(self._levels[:hit_index], key, hit_cache)
 
         return FetchResult(
-            key=key,
-            body=result_body,
-            etag=result_etag,
-            level=level,
-            revalidated=revalidate or bypass_all_caches,
+            key,
+            result_body,
+            result_etag,
+            level,
+            revalidate or bypass_all_caches,
         )
 
     # -- purging -----------------------------------------------------------------------

@@ -49,7 +49,7 @@ from repro.invalidb.cluster import InvaliDBCluster
 from repro.metrics.counters import Counter
 from repro.cluster.metrics import ClusterMetrics
 from repro.cluster.router import ShardRouter
-from repro.rest.etags import etag_for
+from repro.rest.etags import etag_for_result
 from repro.rest.messages import Response
 from repro.simulation.staleness import StalenessAuditor
 from repro.workloads.dataset import Dataset, INDEXED_QUERY_FIELD
@@ -246,7 +246,7 @@ class QuaestorCluster:
             str(document["_id"]): versions.get(str(document["_id"]), 0)
             for document in documents
         }
-        etag = etag_for({"ids": sorted(window_versions), "versions": window_versions})
+        etag = etag_for_result(window_versions)
         self.auditor.record_version(query.cache_key, etag, now)
 
         # Min-TTL wins: the merged entry may only live as long as every shard

@@ -44,7 +44,7 @@ from repro.db.documents import Document
 from repro.db.query import Query, record_key
 from repro.errors import DocumentNotFoundError
 from repro.invalidb.capacity import AdmissionTicket
-from repro.rest.etags import etag_for, etag_for_version
+from repro.rest.etags import etag_for_result, etag_for_version
 from repro.rest.messages import Response, StatusCode
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (server imports us)
@@ -102,7 +102,7 @@ class ReadPipeline:
 
     def fingerprint(self, ctx: ReadContext) -> None:
         """Derive the result etag and record it with the staleness auditor."""
-        ctx.etag = etag_for({"ids": sorted(ctx.versions), "versions": ctx.versions})
+        ctx.etag = etag_for_result(ctx.versions)
         self.server.auditor.record_version(ctx.cache_key, ctx.etag, ctx.now)
 
     def probe_admission(self, ctx: ReadContext) -> bool:

@@ -21,6 +21,16 @@ class ResultRepresentation(str, enum.Enum):
     OBJECT_LIST = "object-list"
 
 
+def _result_ids(documents: List[Dict[str, Any]]) -> List[str]:
+    """The member-id list of a result, rendered from the documents themselves.
+
+    Always derived from ``documents`` (never from a versions mapping's keys):
+    the id list must pair positionally with the document list, and no cheap
+    check can prove an externally built dict shares its order.
+    """
+    return [str(document["_id"]) for document in documents]
+
+
 def object_list_body(
     documents: List[Dict[str, Any]], versions: Dict[str, int], record_ttl: float
 ) -> Dict[str, Any]:
@@ -32,7 +42,7 @@ def object_list_body(
     """
     return {
         "representation": ResultRepresentation.OBJECT_LIST.value,
-        "ids": [str(document["_id"]) for document in documents],
+        "ids": _result_ids(documents),
         "documents": documents,
         "record_versions": versions,
         "record_ttl": record_ttl,
@@ -55,7 +65,7 @@ def query_result_body(
         return object_list_body(documents, versions, record_ttl=record_ttl)
     return {
         "representation": ResultRepresentation.ID_LIST.value,
-        "ids": [str(document["_id"]) for document in documents],
+        "ids": _result_ids(documents),
     }
 
 

@@ -221,7 +221,13 @@ class QuaestorServer:
         self.counters.increment("writes")
         inserted = self.database.insert(collection, document)
         self._process_invalidations()
-        return Response.uncacheable({"document": inserted}, status=StatusCode.CREATED)
+        # The assigned version is not always 1: re-inserting a deleted _id
+        # continues its version sequence (versions never alias two contents),
+        # so clients must learn the real number.
+        version = self.database.collection(collection).version(str(inserted.get("_id", "")))
+        return Response.uncacheable(
+            {"document": inserted, "version": version}, status=StatusCode.CREATED
+        )
 
     def handle_update(self, collection: str, document_id: str, update: Document) -> Response:
         self.counters.increment("writes")

@@ -17,7 +17,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.db.documents import Document
 from repro.db.query import Query, record_key
 from repro.errors import TransactionAbortedError
-from repro.rest.etags import etag_for
+from repro.rest.etags import etag_for_result
 from repro.rest.messages import StatusCode
 
 
@@ -158,4 +158,4 @@ class Transaction:
     def _current_query_etag(self, query: Query) -> str:
         documents = self._server.database.find(query)
         versions = self._server.result_versions(query.collection, documents)
-        return etag_for({"ids": sorted(versions), "versions": versions})
+        return etag_for_result(versions)

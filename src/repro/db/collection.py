@@ -30,6 +30,16 @@ class Collection:
         self._change_stream = change_stream
         self._documents: Dict[str, Document] = {}
         self._versions: Dict[str, int] = {}
+        #: Last version a deleted id held, so a re-insert of the same ``_id``
+        #: continues the sequence instead of restarting at 1.  A version must
+        #: pin one content forever: ETags derive from it (conditional
+        #: revalidation would 304 wrongly on a recycled version) and the
+        #: client-side caches/session snapshots trust it as a content key.
+        #: One int per distinct deleted id -- the same growth order as the
+        #: change stream and the staleness auditor's per-key history, and
+        #: unlike a collection-wide high-water counter it keeps version
+        #: numbers meaningful per document.
+        self._deleted_versions: Dict[str, int] = {}
         self._indexes = IndexSet()
         self.reads = 0
         self.writes = 0
@@ -56,7 +66,7 @@ class Collection:
             raise DuplicateKeyError(f"duplicate _id {document_id!r} in {self.name!r}")
         stored = deep_copy(document)
         self._documents[document_id] = stored
-        self._versions[document_id] = 1
+        self._versions[document_id] = self._deleted_versions.pop(document_id, 0) + 1
         self._indexes.add_document(document_id, stored)
         self.writes += 1
         self._publish(OperationType.INSERT, document_id, before=None, after=stored)
@@ -113,7 +123,9 @@ class Collection:
         current = self._documents.pop(document_id, None)
         if current is None:
             raise DocumentNotFoundError(f"{self.name}/{document_id} does not exist")
-        self._versions.pop(document_id, None)
+        final_version = self._versions.pop(document_id, None)
+        if final_version is not None:
+            self._deleted_versions[document_id] = final_version
         self._indexes.remove_document(document_id, current)
         self.writes += 1
         self._publish(OperationType.DELETE, document_id, before=deep_copy(current), after=None)
@@ -154,6 +166,25 @@ class Collection:
     def ids(self) -> List[str]:
         """All document ids in the collection."""
         return sorted(self._documents)
+
+    # -- version continuity --------------------------------------------------------------
+
+    def version_floors(self) -> Dict[str, int]:
+        """Last version issued for every id this collection ever stored.
+
+        Live documents report their current version, deleted ids their
+        tombstoned one.  :class:`~repro.db.database.Database` stashes this on
+        ``drop_collection`` and replays it into a re-created collection via
+        :meth:`restore_version_floors`, so versions stay unique per content
+        across the drop.
+        """
+        floors = dict(self._deleted_versions)
+        floors.update(self._versions)
+        return floors
+
+    def restore_version_floors(self, floors: Dict[str, int]) -> None:
+        """Continue the version sequences of a predecessor collection."""
+        self._deleted_versions.update(floors)
 
     # -- internals --------------------------------------------------------------------------
 

@@ -29,6 +29,11 @@ class Database:
     ) -> None:
         self._clock: Clock = clock if clock is not None else VirtualClock()
         self._collections: Dict[str, Collection] = {}
+        #: Version floors of dropped collections, keyed by collection name:
+        #: a re-created collection continues every id's version sequence, so
+        #: a version never aliases two contents even across drop/re-create
+        #: (ETags and the client-side version-keyed caches depend on that).
+        self._version_floors: Dict[str, Dict[str, int]] = {}
         self.change_stream = ChangeStream(history_limit=change_history_limit)
         self.sharder = HashSharder(num_shards)
 
@@ -43,6 +48,9 @@ class Database:
         collection = self._collections.get(name)
         if collection is None:
             collection = Collection(name, self._clock, self.change_stream)
+            floors = self._version_floors.pop(name, None)
+            if floors:
+                collection.restore_version_floors(floors)
             self._collections[name] = collection
         return collection
 
@@ -60,8 +68,17 @@ class Database:
         return sorted(self._collections)
 
     def drop_collection(self, name: str) -> bool:
-        """Remove a collection and its documents; returns whether it existed."""
-        return self._collections.pop(name, None) is not None
+        """Remove a collection and its documents; returns whether it existed.
+
+        The collection's version floors are retained so a later re-creation
+        continues every id's version sequence instead of recycling versions.
+        """
+        collection = self._collections.pop(name, None)
+        if collection is None:
+            return False
+        floors = self._version_floors.setdefault(name, {})
+        floors.update(collection.version_floors())
+        return True
 
     # -- convenience CRUD (delegates to collections, updates shard stats) -----------
 

@@ -12,11 +12,33 @@ from __future__ import annotations
 import copy
 from typing import Any, Dict, List, Sequence, Tuple
 
+from repro import perf
+
 #: Type alias used throughout the database layer.
 Document = Dict[str, Any]
 
 #: Sentinel distinguishing "field missing" from "field is None".
 MISSING = object()
+
+
+def _fast_copy(value: Any) -> Any:
+    """Structural copy specialised for JSON-like values.
+
+    ``copy.deepcopy`` pays for memoization and cycle detection that plain
+    JSON documents (str keys; scalar, list and dict values -- see the module
+    docstring) never need; this recursion is several times faster on the
+    document-cloning hot path.  Exact-type checks keep any exotic value
+    (subclasses, tuples, custom objects) on the general ``copy.deepcopy``
+    path, so only the shapes we understand take the shortcut.
+    """
+    cls = value.__class__
+    if cls is dict:
+        return {key: _fast_copy(item) for key, item in value.items()}
+    if cls is list:
+        return [_fast_copy(item) for item in value]
+    if cls is str or cls is int or cls is float or cls is bool or value is None:
+        return value
+    return copy.deepcopy(value)
 
 
 def deep_copy(document: Document) -> Document:
@@ -25,6 +47,8 @@ def deep_copy(document: Document) -> Document:
     Used to produce before/after-images so that later mutations of the stored
     document never retroactively alter change-stream events.
     """
+    if perf.FAST_PATHS:
+        return _fast_copy(document)
     return copy.deepcopy(document)
 
 

@@ -236,12 +236,14 @@ class QueryStateIndex:
             # prove which previously matching states are affected.  Fall back
             # to every state of the collection (never happens with the
             # repo's change stream, which always carries before-images).
-            found = dict(scan) if scan else {}
-            for state in self._states.values():
-                if state.query.collection == collection:
-                    found.setdefault(state.query_key, state)
-            order = self._order
-            return sorted(found.values(), key=lambda state: order[state.query_key])
+            # _states is insertion-ordered and holds scan-bucket and
+            # eq-indexed states alike, so one ordered filter already yields
+            # the full-scan candidate list in registration order.
+            return [
+                state
+                for state in self._states.values()
+                if state.query.collection == collection
+            ]
 
         eq_found: Dict[str, QueryMatchState] = {}
         for field in eq_fields:

@@ -5,13 +5,22 @@ Etag of its cached copy; the origin answers *304 Not Modified* when the tag
 still matches, avoiding a full body transfer.  Etags here derive from the
 record version counter (or, for query results, from the member ids and their
 versions) so they change exactly when the cached representation changes.
+
+Because tags are pure functions of ``(collection, id, version)`` -- or, for
+query results, of the member-version mapping -- their rendering is memoized:
+a record that has not changed renders the identical string without paying the
+JSON canonicalisation again.  The caches are bypassed under
+:func:`repro.perf.legacy_hot_paths` so the throughput benchmark can measure
+the original rendering cost.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any
+from functools import lru_cache
+from typing import Any, Dict, Tuple
 
+from repro import perf
 from repro.bloom.hashing import stable_uint64
 
 
@@ -21,9 +30,42 @@ def etag_for(payload: Any) -> str:
     return f'"{stable_uint64(canonical):016x}"'
 
 
+@lru_cache(maxsize=65_536)
+def _etag_for_version_cached(collection: str, document_id: str, version: int) -> str:
+    return etag_for({"c": collection, "id": document_id, "v": version})
+
+
 def etag_for_version(collection: str, document_id: str, version: int) -> str:
     """Etag for an individual record at a specific version."""
+    if perf.FAST_PATHS:
+        return _etag_for_version_cached(collection, document_id, version)
     return etag_for({"c": collection, "id": document_id, "v": version})
+
+
+@lru_cache(maxsize=16_384)
+def _etag_for_result_cached(items: Tuple[Tuple[str, int], ...]) -> str:
+    versions = dict(items)
+    return etag_for({"ids": sorted(versions), "versions": versions})
+
+
+def etag_for_result(versions: Dict[str, int]) -> str:
+    """Etag fingerprinting a query result's member ids and versions.
+
+    Renders the same string as
+    ``etag_for({"ids": sorted(versions), "versions": versions})`` (the
+    canonical JSON sorts keys either way) but memoizes it per version
+    mapping, so an unchanged result re-served by the read pipeline skips the
+    canonicalisation entirely.
+    """
+    if perf.FAST_PATHS:
+        return _etag_for_result_cached(tuple(sorted(versions.items())))
+    return etag_for({"ids": sorted(versions), "versions": versions})
+
+
+def clear_etag_caches() -> None:
+    """Drop the memoized renderings (benchmark cold-start hygiene)."""
+    _etag_for_version_cached.cache_clear()
+    _etag_for_result_cached.cache_clear()
 
 
 def weak_compare(left: str, right: str) -> bool:

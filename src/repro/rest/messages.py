@@ -21,31 +21,46 @@ class StatusCode(int, enum.Enum):
     PRECONDITION_FAILED = 412
 
 
-@dataclass
+@dataclass(slots=True)
 class Request:
-    """A REST request addressed by resource URL (the cache key)."""
+    """A REST request addressed by resource URL (the cache key).
+
+    The HTTP method is normalised to upper case once at construction, so
+    method checks on the request path are plain string comparisons instead of
+    an ``.upper()`` allocation per access.
+    """
 
     method: str
     url: str
     headers: Dict[str, str] = field(default_factory=dict)
     body: Any = None
 
+    def __post_init__(self) -> None:
+        self.method = self.method.upper()
+
     @property
     def is_read(self) -> bool:
-        return self.method.upper() in ("GET", "HEAD")
+        return self.method in ("GET", "HEAD")
 
     @property
     def if_none_match(self) -> Optional[str]:
         return self.headers.get("If-None-Match")
 
     def with_revalidation(self, etag: str) -> "Request":
-        """Copy of this request carrying a conditional revalidation header."""
-        headers = dict(self.headers)
-        headers["If-None-Match"] = etag
+        """Copy of this request carrying a conditional revalidation header.
+
+        The common conditional request carries no other headers; in that case
+        the new header dict is built directly instead of copying the (empty)
+        original -- the headers of ``self`` are never aliased either way.
+        """
+        if self.headers:
+            headers = {**self.headers, "If-None-Match": etag}
+        else:
+            headers = {"If-None-Match": etag}
         return Request(method=self.method, url=self.url, headers=headers, body=self.body)
 
 
-@dataclass
+@dataclass(slots=True)
 class Response:
     """A REST response carrying the payload and cacheability metadata."""
 

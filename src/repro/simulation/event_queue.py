@@ -1,26 +1,65 @@
-"""A minimal discrete-event queue ordered by virtual timestamp."""
+"""A minimal discrete-event queue ordered by virtual timestamp.
+
+Hot-path layout (classic DES engineering): the heap holds plain
+``(timestamp, sequence, event)`` tuples -- CPython compares tuples in C, so
+sift operations never call back into Python -- and the event objects
+themselves are ``__slots__`` instances.  Cancellation is lazy (cancelled
+events stay in the heap and are skipped on pop), with a live-event counter
+keeping ``len()``/``bool()`` O(1) and a compaction pass that rebuilds the
+heap once cancelled entries outnumber live ones.
+"""
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Callable, Iterable, List, Optional, Tuple
+
+#: One heap entry: (timestamp, insertion sequence, event).  The sequence is
+#: unique, so tuple comparison never reaches the (incomparable) event object
+#: and ties break by insertion order -- the determinism guarantee.
+_HeapEntry = Tuple[float, int, "ScheduledEvent"]
 
 
-@dataclass(order=True)
 class ScheduledEvent:
     """An event scheduled for a point in virtual time."""
 
-    timestamp: float
-    sequence: int
-    action: Callable[[], None] = field(compare=False)
-    label: str = field(default="", compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    __slots__ = ("timestamp", "sequence", "action", "label", "cancelled", "_queue")
+
+    def __init__(
+        self,
+        timestamp: float,
+        sequence: int,
+        action: Callable[[], None],
+        label: str = "",
+        queue: Optional["EventQueue"] = None,
+    ) -> None:
+        self.timestamp = timestamp
+        self.sequence = sequence
+        self.action = action
+        self.label = label
+        self.cancelled = False
+        self._queue = queue
 
     def cancel(self) -> None:
-        """Mark the event as cancelled; it will be skipped when popped."""
+        """Mark the event as cancelled; it will be skipped when popped.
+
+        Cancelling an event that was already popped (or cancelled) is a
+        no-op: the queue detaches itself from an event on pop, so the
+        live/cancelled bookkeeping only ever counts events still in the heap.
+        """
+        if self.cancelled:
+            return
         self.cancelled = True
+        queue = self._queue
+        if queue is not None:
+            self._queue = None
+            queue._on_cancel()
+
+    def __repr__(self) -> str:
+        return (
+            f"ScheduledEvent(timestamp={self.timestamp!r}, sequence={self.sequence!r}, "
+            f"label={self.label!r}, cancelled={self.cancelled!r})"
+        )
 
 
 class EventQueue:
@@ -31,54 +70,133 @@ class EventQueue:
     """
 
     def __init__(self) -> None:
-        self._heap: List[ScheduledEvent] = []
-        self._counter = itertools.count()
+        self._heap: List[_HeapEntry] = []
+        self._next_sequence = 0
+        #: Number of scheduled-but-not-yet-popped events that are not
+        #: cancelled; maintained so ``len``/``bool`` never scan the heap.
+        self._live = 0
+        #: Cancelled entries still sitting in the heap (lazy deletion debt).
+        self._cancelled_in_heap = 0
         self.processed = 0
 
     def schedule(self, timestamp: float, action: Callable[[], None], label: str = "") -> ScheduledEvent:
         """Schedule ``action`` to run at ``timestamp``."""
         if timestamp < 0:
             raise ValueError("timestamp must be non-negative")
-        event = ScheduledEvent(
-            timestamp=timestamp, sequence=next(self._counter), action=action, label=label
-        )
-        heapq.heappush(self._heap, event)
+        sequence = self._next_sequence
+        self._next_sequence = sequence + 1
+        event = ScheduledEvent(timestamp, sequence, action, label, self)
+        heapq.heappush(self._heap, (timestamp, sequence, event))
+        self._live += 1
         return event
+
+    def schedule_many(
+        self, items: Iterable[Tuple[float, Callable[[], None]]], label: str = ""
+    ) -> List[ScheduledEvent]:
+        """Bulk-schedule ``(timestamp, action)`` pairs in one pass.
+
+        Sequences are assigned in input order (same tie-breaking as repeated
+        :meth:`schedule` calls).  A batch comparable in size to the pending
+        heap is loaded with one ``heapify`` -- O(n + m) instead of m pushes
+        at O(m log n); a small batch against a large heap falls back to
+        plain pushes so the call never re-heapifies more than it adds.  Used
+        by the simulator's connection start-up, which seeds one event per
+        simulated connection before the loop starts.
+        """
+        # Validate and materialise every entry before touching the heap, so a
+        # bad timestamp mid-iteration rejects the whole batch instead of
+        # leaving an un-heapified, un-accounted prefix behind.
+        sequence = self._next_sequence
+        entries: List[_HeapEntry] = []
+        events: List[ScheduledEvent] = []
+        for timestamp, action in items:
+            if timestamp < 0:
+                raise ValueError("timestamp must be non-negative")
+            event = ScheduledEvent(timestamp, sequence, action, label, self)
+            entries.append((timestamp, sequence, event))
+            events.append(event)
+            sequence += 1
+        self._next_sequence = sequence
+        if not entries:
+            return events
+        self._live += len(events)
+        heap = self._heap
+        if len(entries) * 4 < len(heap):
+            for entry in entries:
+                heapq.heappush(heap, entry)
+        else:
+            heap.extend(entries)
+            heapq.heapify(heap)
+        return events
 
     def pop(self) -> Optional[ScheduledEvent]:
         """Remove and return the next non-cancelled event (or ``None``)."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        return self.pop_if_before(float("inf"))
+
+    def pop_if_before(self, end_time: float) -> Optional[ScheduledEvent]:
+        """Pop the next event only if it is due at or before ``end_time``.
+
+        Single heap inspection for the simulator's main loop (instead of a
+        :meth:`peek_time` followed by a :meth:`pop`, each of which walks past
+        cancelled heads separately).
+        """
+        heap = self._heap
+        while heap:
+            head = heap[0]
+            event = head[2]
             if event.cancelled:
+                heapq.heappop(heap)
+                self._cancelled_in_heap -= 1
                 continue
+            if head[0] > end_time:
+                return None
+            heapq.heappop(heap)
+            event._queue = None
+            self._live -= 1
             self.processed += 1
             return event
         return None
 
     def peek_time(self) -> Optional[float]:
         """Timestamp of the next pending event without removing it."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].timestamp if self._heap else None
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)
+            self._cancelled_in_heap -= 1
+        return heap[0][0] if heap else None
 
     def __len__(self) -> int:
-        return sum(1 for event in self._heap if not event.cancelled)
+        return self._live
 
     def __bool__(self) -> bool:
-        return len(self) > 0
+        return self._live > 0
+
+    # -- lazy-deletion bookkeeping ------------------------------------------------------
+
+    def _on_cancel(self) -> None:
+        """Account for one cancellation; compact once debt exceeds live work."""
+        self._live -= 1
+        self._cancelled_in_heap += 1
+        if self._cancelled_in_heap * 2 > len(self._heap):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify (amortised O(n))."""
+        self._heap = [entry for entry in self._heap if not entry[2].cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled_in_heap = 0
 
     def run_until(self, clock, end_time: float) -> int:
         """Execute events (advancing ``clock``) until ``end_time``; returns count."""
         executed = 0
+        advance_to = clock.advance_to
+        pop_if_before = self.pop_if_before
         while True:
-            next_time = self.peek_time()
-            if next_time is None or next_time > end_time:
-                break
-            event = self.pop()
+            event = pop_if_before(end_time)
             if event is None:
                 break
-            clock.advance_to(event.timestamp)
+            advance_to(event.timestamp)
             event.action()
             executed += 1
-        clock.advance_to(end_time)
+        advance_to(end_time)
         return executed

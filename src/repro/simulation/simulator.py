@@ -20,8 +20,10 @@ from __future__ import annotations
 import enum
 import random
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Dict, List, Optional
 
+from repro import perf
 from repro.caching.invalidation import InvalidationCache
 from repro.clock import VirtualClock
 from repro.client.sdk import QuaestorClient, SESSION_LEVEL
@@ -218,6 +220,13 @@ class Simulator:
             self.clients.append(client)
 
         self.workload = WorkloadGenerator(config.workload, self.dataset)
+        # Operations are pulled from the generator in chunks (YCSB-style
+        # batched sampling); the buffer holds the sampled-ahead tail.  The
+        # generator's RNG streams are private to it, so sampling ahead of the
+        # event loop cannot perturb any other random draw.
+        self._op_buffer: List[Operation] = []
+        self._op_cursor = 0
+        self._op_chunk = min(512, config.max_operations)
 
         # --- capacity limits (token spacing per client instance and origin). ---
         # Each shard is an independent origin server with its own capacity;
@@ -258,37 +267,56 @@ class Simulator:
 
     def run(self) -> SimulationResult:
         """Run the simulation and return aggregated results."""
-        connection_id = 0
-        for client_index in range(self.config.num_clients):
-            for _ in range(self.config.connections_per_client):
-                start = self.rng.uniform(0.0, 0.01)
-                self._schedule_connection(client_index, start)
-                connection_id += 1
+        # Connection start-up: one event per simulated connection, bulk-loaded
+        # via schedule_many (start times drawn in the same client-major order
+        # as before, so sequences -- and thus tie-breaking -- are unchanged).
+        uniform = self.rng.uniform
+        execute = self._execute_operation
+        self.events.schedule_many(
+            (
+                (uniform(0.0, 0.01), partial(execute, client_index))
+                for client_index in range(self.config.num_clients)
+                for _ in range(self.config.connections_per_client)
+            ),
+            label="op",
+        )
 
-        while True:
-            next_time = self.events.peek_time()
-            if next_time is None:
-                break
-            if next_time > self._stop_time:
-                break
-            if self._total_operations >= self.config.max_operations:
-                break
-            event = self.events.pop()
+        # Main loop: a single heap inspection per iteration (pop_if_before),
+        # with the loop-invariant lookups hoisted out.
+        pop_if_before = self.events.pop_if_before
+        advance_to = self.clock.advance_to
+        stop_time = self._stop_time
+        max_operations = self.config.max_operations
+        while self._total_operations < max_operations:
+            event = pop_if_before(stop_time)
             if event is None:
                 break
-            self.clock.advance_to(event.timestamp)
+            advance_to(event.timestamp)
             event.action()
 
         self._stopped_at = self.clock.now()
         return self._collect_results()
 
-    # -- per-connection behaviour -------------------------------------------------------------
+    @property
+    def total_operations(self) -> int:
+        """Operations executed so far, warm-up included (benchmark surface)."""
+        return self._total_operations
 
-    def _schedule_connection(self, client_index: int, at_time: float) -> None:
-        """Schedule the next request of one connection belonging to a client."""
-        self.events.schedule(
-            at_time, lambda: self._execute_operation(client_index), label="op"
-        )
+    # -- workload buffering ---------------------------------------------------------------------
+
+    def _next_workload_operation(self) -> Operation:
+        """Next operation, sampled through the generator's chunked batch API."""
+        if not perf.FAST_PATHS:
+            return self.workload.next_operation()
+        cursor = self._op_cursor
+        buffer = self._op_buffer
+        if cursor >= len(buffer):
+            buffer = self._op_buffer = self.workload.next_operations(self._op_chunk)
+            cursor = 0
+        self._op_cursor = cursor + 1
+        return buffer[cursor]
+
+    # -- per-connection behaviour -------------------------------------------------------------
 
     def _client_wait(self, client_index: int) -> float:
         """Queueing delay at the client instance (its request-issue capacity)."""
@@ -302,7 +330,7 @@ class Simulator:
 
     def _execute_operation(self, client_index: int) -> None:
         client = self.clients[client_index]
-        operation = self.workload.next_operation()
+        operation = self._next_workload_operation()
         start_time = self.clock.now()
         issue_wait = self._client_wait(client_index)
 
@@ -311,26 +339,31 @@ class Simulator:
         # Client-side queueing delays the next request of this connection but
         # is not part of the per-request latency the paper reports.
         completion = start_time + issue_wait + latency
-        self._total_operations += 1
-        if self._measure_start_time is None and self._total_operations > self._warmup_operations:
+        total = self._total_operations + 1
+        self._total_operations = total
+        if self._measure_start_time is None and total > self._warmup_operations:
             self._measure_start_time = start_time
         measured = self._measure_start_time is not None
         if measured:
             self._measured_operations += 1
             self._record_metrics(op_class, latency)
             self.level_counts[op_class].increment(level)
-        if (
-            measured
-            and self.config.audit_staleness
-            and op_class in ("read", "query")
-            and etag is not None
-        ):
-            audit = self.auditor.audit_read(key, etag, start_time)
-            if audit.stale:
-                self._stale_counts.increment(f"stale_{op_class}")
-            self._stale_counts.increment(f"audited_{op_class}")
+            if (
+                self.config.audit_staleness
+                and etag is not None
+                and (op_class == "read" or op_class == "query")
+            ):
+                audit = self.auditor.audit_read(key, etag, start_time)
+                stale_counts = self._stale_counts
+                if audit.stale:
+                    stale_counts.increment("stale_read" if op_class == "read" else "stale_query")
+                stale_counts.increment(
+                    "audited_read" if op_class == "read" else "audited_query"
+                )
 
-        self._schedule_connection(client_index, completion)
+        self.events.schedule(
+            completion, partial(self._execute_operation, client_index), label="op"
+        )
 
     def _perform(self, client: QuaestorClient, operation: Operation):
         """Execute one operation and derive its latency from the serving level."""

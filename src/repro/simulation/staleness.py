@@ -14,9 +14,9 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReadAudit:
-    """Verdict for a single audited read."""
+    """Verdict for a single audited read (``__slots__``: one per audited read)."""
 
     key: str
     read_time: float

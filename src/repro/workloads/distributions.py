@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Optional, Protocol
+from typing import List, Optional, Protocol
 
 from repro.bloom.hashing import stable_uint64
 
@@ -20,6 +20,9 @@ class KeyDistribution(Protocol):
     """Anything that yields item indexes in ``[0, item_count)``."""
 
     def next_index(self) -> int:
+        ...
+
+    def next_indexes(self, count: int) -> List[int]:
         ...
 
     @property
@@ -42,6 +45,14 @@ class UniformGenerator:
 
     def next_index(self) -> int:
         return self._rng.randrange(self._item_count)
+
+    def next_indexes(self, count: int) -> List[int]:
+        """Draw ``count`` indexes; same stream as ``count`` single draws."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        randrange = self._rng.randrange
+        item_count = self._item_count
+        return [randrange(item_count) for _ in range(count)]
 
 
 class ZipfianGenerator:
@@ -101,6 +112,42 @@ class ZipfianGenerator:
             return rank
         return stable_uint64(f"zipf-{rank}") % self._item_count
 
+    def next_indexes(self, count: int) -> List[int]:
+        """Draw ``count`` indexes in one pass; same stream as single draws.
+
+        The per-draw float arithmetic is identical to :meth:`next_index`
+        (each draw consumes exactly one uniform variate), only the Python
+        dispatch overhead -- attribute lookups, method-call frames -- is
+        hoisted out of the loop.  The YCSB constants are bound once.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        rng_random = self._rng.random
+        zeta_n = self._zeta_n
+        theta_threshold = 1.0 + 0.5**self._theta
+        item_count = self._item_count
+        eta = self._eta
+        alpha = self._alpha
+        scrambled = self._scrambled
+        top = item_count - 1
+        indexes: List[int] = []
+        append = indexes.append
+        for _ in range(count):
+            u = rng_random()
+            uz = u * zeta_n
+            if uz < 1.0:
+                rank = 0
+            elif uz < theta_threshold:
+                rank = 1
+            else:
+                rank = int(item_count * (eta * u - eta + 1) ** alpha)
+                if rank > top:
+                    rank = top
+            if scrambled:
+                rank = stable_uint64(f"zipf-{rank}") % item_count
+            append(rank)
+        return indexes
+
 
 class HotspotGenerator:
     """A fraction of requests targets a small hot set, the rest is uniform."""
@@ -131,3 +178,17 @@ class HotspotGenerator:
         if self._rng.random() < self._hot_probability:
             return self._rng.randrange(self._hot_items)
         return self._rng.randrange(self._item_count)
+
+    def next_indexes(self, count: int) -> List[int]:
+        """Draw ``count`` indexes; same stream as ``count`` single draws."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        rng_random = self._rng.random
+        randrange = self._rng.randrange
+        hot_probability = self._hot_probability
+        hot_items = self._hot_items
+        item_count = self._item_count
+        return [
+            randrange(hot_items) if rng_random() < hot_probability else randrange(item_count)
+            for _ in range(count)
+        ]

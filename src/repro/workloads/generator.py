@@ -8,9 +8,11 @@ query (and the table) it targets is sampled from a Zipfian distribution.
 from __future__ import annotations
 
 import random
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional
 
+from repro import perf
 from repro.errors import ConfigurationError
 from repro.workloads.dataset import Dataset
 from repro.workloads.distributions import UniformGenerator, ZipfianGenerator
@@ -116,6 +118,16 @@ class WorkloadGenerator:
             (OperationType.INSERT, spec.insert_proportion),
             (OperationType.DELETE, spec.delete_proportion),
         ]
+        # Cumulative-weight table for ``random.choices``-style type sampling.
+        # Built with the same left-to-right float accumulation as the legacy
+        # linear scan in _sample_type, so bisecting it selects bit-identical
+        # types for the same uniform draw.
+        self._type_order = [operation_type for operation_type, _ in self._choices]
+        cumulative = 0.0
+        self._cum_weights: List[float] = []
+        for _operation_type, proportion in self._choices:
+            cumulative += proportion
+            self._cum_weights.append(cumulative)
 
     # -- sampling -------------------------------------------------------------------
 
@@ -142,21 +154,101 @@ class WorkloadGenerator:
         # Insert: a brand-new document in the sampled table.
         self._insert_counter += 1
         new_id = f"{table}-new-{self._insert_counter:06d}"
-        document = {
-            "_id": new_id,
-            "title": f"New post {self._insert_counter}",
-            "category": self._rng.randrange(self.dataset.spec.categories_per_table),
-            "tags": ["example"],
-            "views": 0,
-            "author": f"user-{self._rng.randint(0, 499):03d}",
-            "body": "freshly inserted",
-        }
+        document = {"_id": new_id, **self._insert_payload()}
         return Operation(
             type=OperationType.INSERT, collection=table, document_id=new_id, payload=document
         )
 
+    def next_operations(self, count: int) -> List[Operation]:
+        """Sample ``count`` operations in one batch.
+
+        Emits the exact operation stream ``count`` repeated
+        :meth:`next_operation` calls would produce (pinned by a golden test):
+        every RNG consumes its variates in the same per-operation order --
+        the type/payload stream draws type-then-payload per operation, and
+        the document/query pickers run on their own seeded streams, so their
+        draws may be deferred and batched.  What the batch removes is the
+        per-operation Python dispatch: one bisect over a precomputed
+        cumulative-weight table per type draw, and one
+        :meth:`~repro.workloads.distributions.ZipfianGenerator.next_indexes`
+        call per picker per chunk.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        rng_random = self._rng.random
+        cum_weights = self._cum_weights
+        type_order = self._type_order
+        top = len(type_order)
+        query_type = OperationType.QUERY
+        update_type = OperationType.UPDATE
+        insert_type = OperationType.INSERT
+
+        # Pass 1 -- type and payload sampling.  Types and (for writes) payloads
+        # interleave on the shared spec RNG exactly as in next_operation.
+        plan: List[tuple] = []
+        document_picks = 0
+        query_picks = 0
+        for _ in range(count):
+            draw = rng_random()
+            index = bisect_right(cum_weights, draw)
+            operation_type = type_order[index] if index < top else type_order[0]
+            if operation_type is query_type:
+                query_picks += 1
+                plan.append((operation_type, None, None))
+                continue
+            document_picks += 1
+            if operation_type is update_type:
+                plan.append((operation_type, self._partial_update(), None))
+            elif operation_type is insert_type:
+                self._insert_counter += 1
+                # The insert payload's RNG draws happen here, in stream order;
+                # the target table (and thus the new id) is resolved from the
+                # document pick during assembly.
+                plan.append((operation_type, self._insert_payload(), self._insert_counter))
+            else:
+                plan.append((operation_type, None, None))
+
+        # Pass 2 -- batched target sampling on the pickers' dedicated streams.
+        document_indexes = iter(self._document_picker.next_indexes(document_picks))
+        query_indexes = iter(self._query_picker.next_indexes(query_picks))
+
+        document_ids = self._document_ids
+        queries = self._queries
+        operations: List[Operation] = []
+        append = operations.append
+        for operation_type, payload, insert_number in plan:
+            if operation_type is query_type:
+                query = queries[next(query_indexes)]
+                append(Operation(type=query_type, collection=query.collection, query=query))
+                continue
+            table, document_id = document_ids[next(document_indexes)]
+            if operation_type is insert_type:
+                new_id = f"{table}-new-{insert_number:06d}"
+                payload = {"_id": new_id, **payload}
+                append(
+                    Operation(
+                        type=insert_type, collection=table, document_id=new_id, payload=payload
+                    )
+                )
+            else:
+                append(
+                    Operation(
+                        type=operation_type,
+                        collection=table,
+                        document_id=document_id,
+                        payload=payload,
+                    )
+                )
+        return operations
+
     def stream(self, count: int) -> Iterator[Operation]:
-        """Yield ``count`` operations."""
+        """Yield ``count`` operations, sampled lazily one at a time.
+
+        Stays per-operation (not chunked) on purpose: a caller that abandons
+        the iterator early must leave the RNG streams exactly where the
+        consumed operations put them.  Bulk consumers use
+        :meth:`next_operations` / :meth:`operations` instead.
+        """
         if count < 0:
             raise ValueError("count must be non-negative")
         for _ in range(count):
@@ -164,6 +256,8 @@ class WorkloadGenerator:
 
     def operations(self, count: int) -> List[Operation]:
         """Materialise ``count`` operations as a list."""
+        if perf.FAST_PATHS:
+            return self.next_operations(count)
         return list(self.stream(count))
 
     # -- internals ---------------------------------------------------------------------
@@ -176,6 +270,24 @@ class WorkloadGenerator:
             if draw < cumulative:
                 return operation_type
         return self._choices[0][0]
+
+    def _insert_payload(self) -> Dict:
+        """The body of a freshly inserted document (sans ``_id``).
+
+        One builder for both the sequential and the batched sampler: the RNG
+        draw order (category, then author) is part of the pinned operation
+        stream, so the two paths must never diverge.  Callers bump
+        ``_insert_counter`` first; the ``_id`` is added once the target table
+        is known.
+        """
+        return {
+            "title": f"New post {self._insert_counter}",
+            "category": self._rng.randrange(self.dataset.spec.categories_per_table),
+            "tags": ["example"],
+            "views": 0,
+            "author": f"user-{self._rng.randint(0, 499):03d}",
+            "body": "freshly inserted",
+        }
 
     def _partial_update(self) -> Dict:
         """A partial update touching the non-query fields most of the time.

@@ -24,13 +24,14 @@ class OperationType(str, enum.Enum):
         return self in (OperationType.INSERT, OperationType.UPDATE, OperationType.DELETE)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Operation:
     """One operation to execute against the DBaaS.
 
     Exactly one of ``document_id`` (for record operations) or ``query`` (for
     query operations) is set; ``payload`` carries the document to insert or
-    the partial-update specification.
+    the partial-update specification.  ``__slots__`` because the workload
+    generator mints one per simulated operation.
     """
 
     type: OperationType

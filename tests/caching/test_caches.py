@@ -109,6 +109,35 @@ class TestExpirationCache:
         assert cache.stats.misses == 0
 
 
+class TestStoreFresh:
+    def test_store_fresh_matches_store_of_a_cacheable_response(self, clock):
+        """The fast path mints the same entry a cacheable 200 would produce."""
+        via_response = ExpirationCache("slow", clock)
+        via_fast = ExpirationCache("fast", clock)
+        clock.advance(3.0)
+        slow_entry = via_response.store(
+            "k", Response.ok({"document": {"a": 1}}, ttl=7.0, etag='"e"')
+        )
+        fast_entry = via_fast.store_fresh("k", {"document": {"a": 1}}, '"e"', 7.0)
+        assert fast_entry == slow_entry
+        assert via_fast.lookup("k").body == via_response.lookup("k").body
+
+    def test_store_fresh_rejects_non_positive_ttl(self, clock):
+        cache = ExpirationCache("c", clock)
+        assert cache.store_fresh("k", 1, None, 0.0) is None
+        assert cache.store_fresh("k", 1, None, -1.0) is None
+        assert "k" not in cache
+
+    def test_store_fresh_respects_lru_bound(self, clock):
+        cache = ExpirationCache("c", clock, max_entries=2)
+        cache.store_fresh("a", 1, None, 10.0)
+        cache.store_fresh("b", 2, None, 10.0)
+        cache.store_fresh("c", 3, None, 10.0)
+        assert "a" not in cache
+        assert "b" in cache and "c" in cache
+        assert cache.stats.evictions == 1
+
+
 class TestInvalidationCache:
     def test_purge_removes_entry(self, clock):
         cdn = InvalidationCache("cdn", clock)

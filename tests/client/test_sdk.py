@@ -131,10 +131,25 @@ class TestSessionGuarantees:
         assert result.value["views"] == 8
 
     def test_insert_and_delete_through_sdk(self, client, database):
-        client.insert("posts", {"_id": "new-post", "tags": ["example"], "views": 0})
+        result = client.insert("posts", {"_id": "new-post", "tags": ["example"], "views": 0})
+        assert result.version == 1
         assert database.get("posts", "new-post")["views"] == 0
         client.delete("posts", "new-post")
         assert database.collection("posts").get_or_none("new-post") is None
+
+    def test_reinsert_reports_the_continued_version(self, client, database):
+        """Versions never recycle: re-inserting a deleted _id continues its
+        sequence, and the SDK must report the server-assigned version (the
+        session otherwise records a version that aliases other content)."""
+        client.insert("posts", {"_id": "phoenix", "views": 0})
+        client.update("posts", "phoenix", {"$inc": {"views": 1}})
+        client.delete("posts", "phoenix")
+        reborn = client.insert("posts", {"_id": "phoenix", "views": 99})
+        assert reborn.version == 3
+        assert client.session.own_write("record:posts/phoenix")[0] == 3
+        read = client.read("posts", "phoenix")
+        assert read.version == 3
+        assert read.value["views"] == 99
 
 
 class TestConsistencyLevels:
@@ -164,6 +179,28 @@ class TestConsistencyLevels:
     def test_default_client_serves_from_cache(self, client):
         client.read("posts", "p0")
         assert client.read("posts", "p0").level == "client"
+
+
+class TestPreparedRecordMemo:
+    def test_same_members_in_opposite_order_store_in_served_order(self, database, posts, clock):
+        """Two queries over the same members with opposite sorts share a
+        result etag but not a serving order; the prepared-record memo must
+        not replay the first order, or LRU recency in a bounded client cache
+        would diverge from the legacy per-body loop."""
+        from repro import perf
+
+        def entry_order():
+            server = QuaestorServer(database)
+            sdk = QuaestorClient(server, clock=clock, client_cache_max_entries=32)
+            sdk.connect()
+            sdk.query(Query("posts", {"tags": "example"}, sort=[("views", 1)]))
+            sdk.query(Query("posts", {"tags": "example"}, sort=[("views", -1)]))
+            return [key for key in sdk.client_cache._entries if key.startswith("record:")]
+
+        fast = entry_order()
+        with perf.legacy_hot_paths():
+            legacy = entry_order()
+        assert fast == legacy
 
 
 class TestIdListAssembly:

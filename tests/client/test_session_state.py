@@ -56,6 +56,39 @@ class TestClientSession:
     def test_monotonic_fallback_unknown_key(self):
         assert ClientSession().monotonic_fallback("unknown") is None
 
+    def test_same_version_reobservation_keeps_snapshot_without_recopying(self):
+        session = ClientSession()
+        session.observe_read("key", 2, {"_id": "x", "value": "v2"})
+        snapshot = session._seen_documents["key"]
+        session.observe_read("key", 2, {"_id": "x", "value": "v2"})
+        assert session._seen_documents["key"] is snapshot  # fast-path skip
+
+    def test_fallback_documents_are_disjoint_from_session_state(self):
+        """A caller mutating the fallback copy must not corrupt the snapshot
+        (the same-version skip keeps that snapshot alive indefinitely)."""
+        session = ClientSession()
+        session.observe_read("key", 2, {"_id": "x", "value": "v2"})
+        handed_out = session.monotonic_fallback("key")[1]
+        handed_out["value"] = "mutated"
+        assert session.monotonic_fallback("key")[1] == {"_id": "x", "value": "v2"}
+
+    def test_none_snapshot_does_not_mask_a_real_document_at_same_version(self):
+        """The same-version skip must store what the legacy path would: a
+        falsy observation followed by a real document at the same version."""
+        session = ClientSession()
+        session.observe_read("key", 5, None)
+        session.observe_read("key", 5, {"_id": "x", "value": "real"})
+        assert session.monotonic_fallback("key") == (5, {"_id": "x", "value": "real"})
+
+    def test_version_zero_sentinel_never_pins_content(self):
+        """Version 0 is the 'unknown version' sentinel (missing
+        record_versions); re-observations at 0 must keep re-storing, exactly
+        like the legacy path."""
+        session = ClientSession()
+        session.observe_read("key", 0, {"_id": "x", "value": "first"})
+        session.observe_read("key", 0, {"_id": "x", "value": "second"})
+        assert session.monotonic_fallback("key") == (0, {"_id": "x", "value": "second"})
+
     def test_own_writes_recorded(self):
         session = ClientSession()
         session.record_own_write("key", 4, {"_id": "x"})

@@ -75,6 +75,38 @@ class TestCrud:
         posts.update("p1", {"$inc": {"views": 1}})
         assert posts.version("p1") == 3
 
+    def test_versions_never_recycle_across_delete_and_reinsert(self, database):
+        """A version pins one content forever: re-inserting a deleted _id must
+        continue the sequence, or ETags (and every version-keyed cache/session
+        memo) would alias different content."""
+        from repro.rest.etags import etag_for_version
+
+        posts = database.create_collection("posts")
+        posts.insert({"_id": "p1", "body": "original"})
+        posts.update("p1", {"$set": {"body": "edited"}})
+        old_version = posts.version("p1")
+        old_etag = etag_for_version("posts", "p1", old_version)
+        posts.delete("p1")
+        posts.insert({"_id": "p1", "body": "reincarnated"})
+        new_version = posts.version("p1")
+        assert new_version == old_version + 1
+        assert etag_for_version("posts", "p1", new_version) != old_etag
+
+    def test_versions_never_recycle_across_drop_and_recreate(self, database):
+        posts = database.create_collection("posts")
+        posts.insert({"_id": "p1"})
+        posts.update("p1", {"$set": {"x": 1}})
+        posts.insert({"_id": "p2"})
+        posts.delete("p2")
+        database.drop_collection("posts")
+        recreated = database.create_collection("posts")
+        recreated.insert({"_id": "p1"})
+        recreated.insert({"_id": "p2"})
+        assert recreated.version("p1") == 3  # continued past the dropped v2
+        assert recreated.version("p2") == 2  # continued past the tombstoned v1
+        assert database.create_collection("fresh").insert({"_id": "p1"}) is not None
+        assert database.collection("fresh").version("p1") == 1  # other names unaffected
+
 
 class TestChangeEvents:
     def test_insert_emits_after_image(self, database):

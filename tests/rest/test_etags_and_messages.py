@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
+from repro import perf
 from repro.rest import CacheControl, Request, Response, StatusCode, etag_for, weak_compare
-from repro.rest.etags import etag_for_version
+from repro.rest.etags import etag_for_result, etag_for_version
 
 
 class TestEtags:
@@ -21,6 +22,23 @@ class TestEtags:
     def test_version_etag_is_scoped_to_record(self):
         assert etag_for_version("posts", "p1", 1) != etag_for_version("posts", "p2", 1)
 
+    def test_memoized_etags_match_uncached_rendering(self):
+        """The lru-cached fast paths render the same strings as the legacy
+        (per-call) rendering used before the hot-path overhaul."""
+        versions = {"p2": 7, "p1": 3}
+        with perf.legacy_hot_paths():
+            legacy_version = etag_for_version("posts", "p1", 3)
+            legacy_result = etag_for_result(versions)
+        assert etag_for_version("posts", "p1", 3) == legacy_version
+        assert etag_for_result(versions) == legacy_result
+        assert etag_for_result(dict(versions)) == legacy_result  # key order irrelevant
+        assert legacy_result == etag_for({"ids": sorted(versions), "versions": versions})
+
+    def test_result_etag_changes_with_membership_and_versions(self):
+        base = etag_for_result({"p1": 1, "p2": 1})
+        assert etag_for_result({"p1": 1, "p2": 2}) != base
+        assert etag_for_result({"p1": 1}) != base
+
     def test_weak_compare_ignores_weak_prefix(self):
         strong = etag_for({"a": 1})
         assert weak_compare(strong, "W/" + strong)
@@ -33,11 +51,29 @@ class TestRequest:
         assert Request("HEAD", "/db/posts/p1").is_read
         assert not Request("PUT", "/db/posts/p1").is_read
 
+    def test_method_normalised_once_at_construction(self):
+        """Lower-case methods are upper-cased by __post_init__, so is_read is
+        a plain membership test (no .upper() per access)."""
+        request = Request("get", "/db/posts/p1")
+        assert request.method == "GET"
+        assert request.is_read
+        assert Request("head", "/db/posts/p1").is_read
+        assert not Request("put", "/db/posts/p1").is_read
+        assert Request("delete", "/db/posts/p1").method == "DELETE"
+
     def test_with_revalidation_adds_header(self):
         request = Request("GET", "/db/posts/p1")
         conditional = request.with_revalidation('"abc"')
         assert conditional.if_none_match == '"abc"'
         assert request.if_none_match is None  # original untouched
+
+    def test_with_revalidation_preserves_existing_headers(self):
+        request = Request("GET", "/db/posts/p1", headers={"Accept": "application/json"})
+        conditional = request.with_revalidation('"abc"')
+        assert conditional.headers == {"Accept": "application/json", "If-None-Match": '"abc"'}
+        assert request.headers == {"Accept": "application/json"}  # no aliasing
+        conditional.headers["X"] = "y"
+        assert "X" not in request.headers
 
 
 class TestResponse:

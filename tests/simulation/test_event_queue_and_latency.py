@@ -63,6 +63,109 @@ class TestEventQueue:
         assert EventQueue().pop() is None
         assert not EventQueue()
 
+    def test_len_is_live_event_count(self):
+        queue = EventQueue()
+        events = [queue.schedule(float(i), lambda: None) for i in range(10)]
+        assert len(queue) == 10
+        events[3].cancel()
+        events[7].cancel()
+        assert len(queue) == 8
+        # Double-cancel must not double-count.
+        events[3].cancel()
+        assert len(queue) == 8
+        queue.pop()
+        assert len(queue) == 7
+        assert bool(queue)
+
+    def test_schedule_many_matches_individual_schedules(self):
+        """Bulk scheduling preserves timestamp order and insertion-order ties."""
+        times = [2.0, 1.0, 1.0, 3.0, 1.0, 0.5]
+        reference = EventQueue()
+        ref_order = []
+        for index, timestamp in enumerate(times):
+            reference.schedule(timestamp, lambda i=index: ref_order.append(i))
+        bulk = EventQueue()
+        bulk_order = []
+        bulk.schedule_many(
+            (timestamp, lambda i=index: bulk_order.append(i))
+            for index, timestamp in enumerate(times)
+        )
+        assert len(bulk) == len(times)
+        reference.run_until(VirtualClock(), 10.0)
+        bulk.run_until(VirtualClock(), 10.0)
+        assert bulk_order == ref_order
+
+    def test_schedule_many_rejects_negative_timestamps(self):
+        with pytest.raises(ValueError):
+            EventQueue().schedule_many([(1.0, lambda: None), (-0.1, lambda: None)])
+
+    def test_schedule_many_rejects_bad_batches_atomically(self):
+        """A bad timestamp mid-batch must not leave a partial batch behind."""
+        queue = EventQueue()
+        queue.schedule(5.0, lambda: None)
+        with pytest.raises(ValueError):
+            queue.schedule_many([(0.5, lambda: None), (-1.0, lambda: None)])
+        assert len(queue) == 1
+        assert queue.peek_time() == 5.0
+
+    def test_cancel_after_pop_is_a_noop(self):
+        """Cancelling an already-popped event must not corrupt the counters."""
+        queue = EventQueue()
+        first = queue.schedule(1.0, lambda: None)
+        queue.schedule(2.0, lambda: None)
+        popped = queue.pop()
+        assert popped is first
+        first.cancel()
+        first.cancel()
+        assert len(queue) == 1
+        assert bool(queue)
+        assert queue.pop().timestamp == 2.0
+
+    def test_schedule_many_onto_populated_queue(self):
+        queue = EventQueue()
+        executed = []
+        queue.schedule(2.0, lambda: executed.append("single"))
+        queue.schedule_many([(1.0, lambda: executed.append("bulk-early")),
+                            (3.0, lambda: executed.append("bulk-late"))])
+        queue.run_until(VirtualClock(), 5.0)
+        assert executed == ["bulk-early", "single", "bulk-late"]
+
+    def test_cancellation_during_run_until(self):
+        """An event cancelled by an earlier event in the same run is skipped."""
+        queue = EventQueue()
+        executed = []
+        victim = queue.schedule(2.0, lambda: executed.append("victim"))
+        queue.schedule(1.0, lambda: (executed.append("assassin"), victim.cancel()))
+        queue.schedule(3.0, lambda: executed.append("survivor"))
+        count = queue.run_until(VirtualClock(), 5.0)
+        assert executed == ["assassin", "survivor"]
+        assert count == 2
+        assert queue.processed == 2
+
+    def test_pop_if_before_respects_cancelled_head_and_bound(self):
+        queue = EventQueue()
+        head = queue.schedule(1.0, lambda: None, label="head")
+        queue.schedule(2.0, lambda: None, label="mid")
+        queue.schedule(9.0, lambda: None, label="tail")
+        head.cancel()
+        event = queue.pop_if_before(5.0)
+        assert event is not None and event.label == "mid"
+        assert queue.pop_if_before(5.0) is None  # tail is beyond the bound
+        assert len(queue) == 1
+
+    def test_mass_cancellation_compacts_lazily(self):
+        """Cancelling most of the heap keeps len/peek/pop consistent."""
+        queue = EventQueue()
+        events = [queue.schedule(float(i), lambda: None) for i in range(100)]
+        for event in events[:90]:
+            event.cancel()
+        assert len(queue) == 10
+        assert queue.peek_time() == 90.0
+        popped = []
+        while queue:
+            popped.append(queue.pop().timestamp)
+        assert popped == [float(i) for i in range(90, 100)]
+
 
 class TestLatencyModel:
     def test_zero_jitter_returns_mean(self):
