@@ -11,14 +11,20 @@
 #   make bench-sim-check - budget-mode run gated against the committed
 #                          BENCH_sim.json (fails when a speedup ratio
 #                          collapses >3x)
+#   make bench-replication       - replica-read scale-out + failover drills;
+#                                  rewrites BENCH_replication.json
+#   make bench-replication-check - budget-mode run gated against the committed
+#                                  BENCH_replication.json (fails when the RF=3
+#                                  scale-out collapses or failover degrades)
+#   make smoke-failover  - seeded crash+recover scenario must stay deterministic
 #   make docs-check      - fail if README.md or docs/ reference missing modules/files
 
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
 
-BENCH_FILES := $(filter-out benchmarks/bench_hotpaths.py benchmarks/bench_sim_throughput.py,$(wildcard benchmarks/bench_*.py))
+BENCH_FILES := $(filter-out benchmarks/bench_hotpaths.py benchmarks/bench_sim_throughput.py benchmarks/bench_replication.py,$(wildcard benchmarks/bench_*.py))
 
-.PHONY: test bench-smoke bench bench-hotpaths bench-hotpaths-check bench-sim bench-sim-check docs-check
+.PHONY: test bench-smoke bench bench-hotpaths bench-hotpaths-check bench-sim bench-sim-check bench-replication bench-replication-check smoke-failover docs-check
 
 test:
 	$(PYTEST) -x -q
@@ -40,6 +46,15 @@ bench-sim:
 
 bench-sim-check:
 	$(PYTHON) benchmarks/bench_sim_throughput.py --budget --check BENCH_sim.json
+
+bench-replication:
+	$(PYTHON) benchmarks/bench_replication.py
+
+bench-replication-check:
+	$(PYTHON) benchmarks/bench_replication.py --budget --check BENCH_replication.json
+
+smoke-failover:
+	$(PYTEST) tests/replication/test_failover_smoke.py -q
 
 docs-check:
 	$(PYTHON) scripts/docs_check.py

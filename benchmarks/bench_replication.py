@@ -1,0 +1,275 @@
+#!/usr/bin/env python
+"""Replication benchmark: replica-read scale-out and failover behaviour.
+
+Two experiment families, written to ``BENCH_replication.json``:
+
+* **Scale-out** -- an origin-bound read workload (no web caches, so every
+  read pays the origin's capacity constraint) on one shard at replication
+  factor 1, 2 and 3.  Delta-atomic reads round-robin over the primary and
+  its replicas, so simulated throughput grows with the factor; the headline
+  is the RF=3 / RF=1 throughput ratio.
+* **Failover** -- the paper's full system (QUAESTOR mode) under two seeded
+  fault plans: a scripted primary crash with later recovery, and a
+  replica-partition-then-heal.  Reported per plan: time-to-recover for every
+  outage, the request error rate (bounded unavailability), replica read
+  share and the observed staleness bound.
+
+All reported numbers are *simulated* metrics of seeded runs -- fully
+deterministic, independent of the benchmarking machine -- so the committed
+report doubles as a regression baseline: ``--check`` fails when the
+scale-out ratio collapses, the error rate explodes, or failover stops
+completing.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_replication.py             # full run
+    PYTHONPATH=src python benchmarks/bench_replication.py --budget    # CI-sized
+    PYTHONPATH=src python benchmarks/bench_replication.py --budget \\
+        --check BENCH_replication.json                               # regression gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import sys
+import time
+from typing import Dict, List
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.faults import FaultPlan  # noqa: E402
+from repro.simulation import CachingMode, SimulationConfig, Simulator  # noqa: E402
+from repro.workloads import DatasetSpec, WorkloadSpec  # noqa: E402
+
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_replication.json"
+SCHEMA = "quaestor-bench-replication/1"
+#: --check fails when the RF=3 scale-out ratio drops below committed/FACTOR.
+DEFAULT_REGRESSION_FACTOR = 1.5
+#: --check fails when a failover scenario's error rate exceeds this bound.
+ERROR_RATE_BOUND = 0.05
+
+
+def scaleout_config(replication_factor: int, max_operations: int) -> SimulationConfig:
+    """Origin-bound record reads: no web caching, 99 % reads, one shard.
+
+    The origin capacity (500 req/s per node) is set well below what the 400
+    connections can offer over the wide-area RTT (~2 750 req/s), so the
+    origin queue is the binding constraint and adding replica serving
+    capacity translates directly into throughput.
+    """
+    return SimulationConfig(
+        mode=CachingMode.UNCACHED,
+        workload=WorkloadSpec(
+            read_proportion=0.99,
+            query_proportion=0.0,
+            update_proportion=0.01,
+        ),
+        dataset=DatasetSpec(num_tables=2, documents_per_table=300, queries_per_table=30),
+        num_clients=4,
+        connections_per_client=100,
+        matching_nodes=2,
+        duration=60.0,
+        max_operations=max_operations,
+        seed=42,
+        num_shards=1,
+        replication_factor=replication_factor,
+        origin_capacity=500.0,
+    )
+
+
+def failover_config(plan: FaultPlan, max_operations: int) -> SimulationConfig:
+    """The full system under a fault plan: 2 shards, RF=2, early faults."""
+    return SimulationConfig(
+        mode=CachingMode.QUAESTOR,
+        workload=WorkloadSpec.read_heavy(),
+        dataset=DatasetSpec(num_tables=2, documents_per_table=300, queries_per_table=30),
+        num_clients=4,
+        connections_per_client=50,
+        ebf_refresh_interval=1.0,
+        matching_nodes=2,
+        duration=60.0,
+        # No warm-up: the fault window sits at the very start of the run,
+        # and the availability metrics must *measure* it -- with a warm-up
+        # the outage would complete before measurement starts and the
+        # reported error rate would structurally be zero.
+        warmup_fraction=0.0,
+        max_operations=max_operations,
+        seed=13,
+        num_shards=2,
+        replication_factor=2,
+        fault_plan=plan,
+        failover_detection_delay=0.03,
+    )
+
+
+#: The two canned fault plans the acceptance criteria ask for.  Fault times
+#: sit early in the run so crash, promotion and recovery all land inside the
+#: simulated window at any operation budget.
+def fault_plans() -> Dict[str, FaultPlan]:
+    return {
+        "primary-crash-recover": FaultPlan.primary_crash(
+            shard=0, at=0.02, recover_at=0.12
+        ),
+        "rolling-primary-crashes": FaultPlan.rolling_primary_crashes(
+            shards=[0, 1], start=0.02, spacing=0.06, downtime=0.15
+        ),
+        "replica-partition-heal": FaultPlan.replica_partition(
+            shard=0, replica_index=1, at=0.02, heal_at=0.10
+        ),
+    }
+
+
+def run_scaleout(max_operations: int) -> Dict[str, object]:
+    results: Dict[str, object] = {}
+    throughputs: Dict[int, float] = {}
+    for factor in (1, 2, 3):
+        config = scaleout_config(factor, max_operations)
+        simulator = Simulator(config)
+        wall_start = time.perf_counter()
+        result = simulator.run()
+        wall = time.perf_counter() - wall_start
+        summary = result.summary()
+        throughputs[factor] = summary["throughput"]
+        entry = {
+            "throughput_ops_per_sec": round(summary["throughput"], 1),
+            "mean_read_latency_ms": round(summary["mean_read_latency_ms"], 3),
+            "replica_read_share": round(summary.get("replica_read_share", 0.0), 4),
+            "wall_seconds": round(wall, 2),
+        }
+        results[f"rf={factor}"] = entry
+    results["scaleout_rf2_vs_rf1"] = round(throughputs[2] / throughputs[1], 3)
+    results["scaleout_rf3_vs_rf1"] = round(throughputs[3] / throughputs[1], 3)
+    return results
+
+
+def run_failover(max_operations: int) -> Dict[str, object]:
+    results: Dict[str, object] = {}
+    for name, plan in fault_plans().items():
+        config = failover_config(plan, max_operations)
+        simulator = Simulator(config)
+        result = simulator.run()
+        summary = result.summary()
+        recoveries = simulator.fault_injector.recovery_times()
+        results[name] = {
+            "throughput_ops_per_sec": round(summary["throughput"], 1),
+            "request_error_rate": round(summary["request_error_rate"], 5),
+            "replica_read_share": round(summary["replica_read_share"], 4),
+            "failovers": summary.get("failovers", 0.0),
+            "faults_injected": summary.get("faults_injected", 0.0),
+            "time_to_recover_s": [round(value, 4) for value in recoveries],
+            "query_stale_rate": round(summary["query_stale_rate"], 4),
+            "read_stale_rate": round(summary["read_stale_rate"], 4),
+            "max_staleness_s": round(summary["max_staleness_s"], 4),
+        }
+    return results
+
+
+def run(budget: bool) -> Dict[str, object]:
+    max_operations = 6_000 if budget else 20_000
+    return {
+        "schema": SCHEMA,
+        "generated_by": "benchmarks/bench_replication.py",
+        "budget_mode": budget,
+        "python": platform.python_version(),
+        "note": (
+            "all metrics are simulated (seeded, deterministic); only the "
+            "wall_seconds fields depend on the benchmarking machine"
+        ),
+        "max_operations": max_operations,
+        "scaleout": run_scaleout(max_operations),
+        "failover": run_failover(max_operations),
+    }
+
+
+def check(report: Dict[str, object], baseline_path: pathlib.Path, factor: float) -> int:
+    """Regression gate on the deterministic replication metrics.
+
+    Fails when the RF=3 read scale-out ratio collapsed below
+    committed/``factor``, when any failover scenario's request error rate
+    exceeds the availability bound, or when a scenario that used to recover
+    no longer reports a time-to-recover.
+    """
+    committed = json.loads(baseline_path.read_text(encoding="utf-8"))
+    failures: List[str] = []
+
+    current_ratio = report["scaleout"]["scaleout_rf3_vs_rf1"]
+    committed_ratio = committed["scaleout"]["scaleout_rf3_vs_rf1"]
+    floor = committed_ratio / factor
+    status = "ok" if current_ratio >= floor else "REGRESSION"
+    print(
+        f"  scaleout rf3/rf1       current {current_ratio:>6.2f}x  "
+        f"committed {committed_ratio:>6.2f}x  floor {floor:>5.2f}x  {status}"
+    )
+    if current_ratio < floor:
+        failures.append("scaleout_rf3_vs_rf1")
+    if current_ratio <= 1.0:
+        failures.append("scaleout_rf3_vs_rf1<=1")
+
+    for name, scenario in report["failover"].items():
+        reference = committed["failover"].get(name)
+        error_rate = scenario["request_error_rate"]
+        status = "ok" if error_rate <= ERROR_RATE_BOUND else "REGRESSION"
+        print(
+            f"  {name:<22} error rate {error_rate:.4f} (bound {ERROR_RATE_BOUND})  {status}"
+        )
+        if error_rate > ERROR_RATE_BOUND:
+            failures.append(f"{name}:error_rate")
+        if reference and reference.get("time_to_recover_s") and not scenario["time_to_recover_s"]:
+            print(f"  {name:<22} no recovery observed  REGRESSION")
+            failures.append(f"{name}:no_recovery")
+        if reference and reference.get("request_error_rate", 0) > 0 and error_rate == 0:
+            # The outage stopped being *measured* (e.g. it slid into an
+            # unmeasured warm-up) -- the availability gate would be vacuous.
+            print(f"  {name:<22} outage produced no measured errors  REGRESSION")
+            failures.append(f"{name}:outage_not_measured")
+
+    if failures:
+        print(f"FAIL: replication regression on: {', '.join(failures)}")
+        return 1
+    print("OK: replication scale-out and failover behaviour within bounds")
+    return 0
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--budget", action="store_true", help="CI-sized run (fewer operations)"
+    )
+    parser.add_argument(
+        "--output", type=pathlib.Path, default=DEFAULT_OUTPUT,
+        help=f"where to write the JSON report (default: {DEFAULT_OUTPUT})",
+    )
+    parser.add_argument(
+        "--no-write", action="store_true", help="measure and print without writing the file"
+    )
+    parser.add_argument(
+        "--check", type=pathlib.Path, metavar="BASELINE",
+        help="compare against a committed report; exit 1 on regression",
+    )
+    parser.add_argument(
+        "--factor", type=float, default=DEFAULT_REGRESSION_FACTOR,
+        help=f"allowed scale-out regression factor for --check "
+             f"(default {DEFAULT_REGRESSION_FACTOR:g})",
+    )
+    args = parser.parse_args(argv)
+
+    report = run(args.budget)
+    print(json.dumps(report, indent=2))
+
+    if args.check is not None:
+        # Gate runs never overwrite the committed baseline they compare against.
+        print(f"\nRegression check against {args.check}:")
+        return check(report, args.check, args.factor)
+
+    if not args.no_write:
+        args.output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+        print(f"\nwrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,6 +9,11 @@ Scans ``README.md`` and every Markdown file under ``docs/`` for
 * repository-relative file paths like ``benchmarks/bench_table1.py`` or
   ``examples/quickstart.py`` -- the file or directory must exist.
 
+It additionally enforces *coverage*: every subsystem package listed in
+``REQUIRED_MODULES`` must both import and be referenced somewhere in the
+scanned documentation, so a new subsystem cannot land undocumented (and a
+removed one cannot leave its docs behind).
+
 Exits non-zero listing every reference that does not resolve, so stale docs
 fail CI instead of silently rotting.
 """
@@ -28,6 +33,23 @@ CODE_SPAN = re.compile(r"`([^`\n]+)`")
 PATH_PREFIXES = ("src/", "docs/", "tests/", "benchmarks/", "examples/", "scripts/")
 #: A dotted reference into the reproduction package.
 MODULE_REFERENCE = re.compile(r"^repro(\.\w+)+$")
+
+#: Subsystem packages every documentation pass must cover: each must import
+#: from ``src/`` *and* be referenced in README.md or docs/.
+REQUIRED_MODULES = (
+    "repro.bloom",
+    "repro.caching",
+    "repro.client",
+    "repro.cluster",
+    "repro.core",
+    "repro.db",
+    "repro.faults",
+    "repro.invalidb",
+    "repro.replication",
+    "repro.simulation",
+    "repro.ttl",
+    "repro.workloads",
+)
 
 
 def iter_markdown_files() -> list:
@@ -74,20 +96,36 @@ def check_file(path: Path) -> list:
     return broken
 
 
+def check_required_coverage(markdown_files: list) -> list:
+    """Required modules that fail to import or go unmentioned in the docs."""
+    corpus = "\n".join(path.read_text(encoding="utf-8") for path in markdown_files)
+    problems = []
+    for module in REQUIRED_MODULES:
+        if not check_module(module):
+            problems.append((module, "does not import"))
+        elif module not in corpus:
+            problems.append((module, "not referenced anywhere in README.md or docs/"))
+    return problems
+
+
 def main() -> int:
     sys.path.insert(0, str(REPO_ROOT / "src"))
     failures = 0
     checked = 0
-    for path in iter_markdown_files():
+    markdown_files = iter_markdown_files()
+    for path in markdown_files:
         checked += 1
         for line_number, reference, kind in check_file(path):
             failures += 1
             relative = path.relative_to(REPO_ROOT)
             print(f"{relative}:{line_number}: unresolved {kind} reference: {reference}")
+    for module, problem in check_required_coverage(markdown_files):
+        failures += 1
+        print(f"coverage: required module {module}: {problem}")
     if failures:
         print(f"docs-check: {failures} broken reference(s) in {checked} file(s)")
         return 1
-    print(f"docs-check: OK ({checked} file(s) checked)")
+    print(f"docs-check: OK ({checked} file(s) checked, {len(REQUIRED_MODULES)} modules covered)")
     return 0
 
 

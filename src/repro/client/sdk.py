@@ -35,6 +35,11 @@ from repro.rest.messages import Response, StatusCode
 #: (read-your-writes / monotonic-reads fallback); it involves no network.
 SESSION_LEVEL = "session"
 
+#: Synthetic level reported when the origin answered with a structured 503
+#: (shard primary down, no eligible replica).  The request still paid a
+#: round trip; the simulator accounts it as a failed operation.
+ERROR_LEVEL = "error"
+
 
 @dataclass(slots=True)
 class ClientResult:
@@ -111,6 +116,14 @@ class QuaestorClient:
         self._known_queries: Dict[str, Query] = {}
         self._pending_origin_response: Optional[Response] = None
         self._causal_revalidate = False
+        # Replica-read routing: servers that opt in (the cluster facade)
+        # receive the session's consistency level and causal frontier with
+        # every record read, so a replicated shard can decide whether a
+        # lagging replica may serve it.  The frontier is the timestamp of the
+        # newest primary state this session has observed or written.
+        self._server_replica_reads = bool(getattr(server, "supports_replica_reads", False))
+        self._origin_read_context: tuple = (consistency, None)
+        self._causal_frontier = 0.0
         # Interned per-level counter names so the per-read accounting does
         # not build an f-string per operation.
         self._hit_counter_names: Dict[str, str] = {}
@@ -160,7 +173,26 @@ class QuaestorClient:
         level_consistency = consistency if consistency is not None else self.consistency
         refresh_due = self.use_ebf and self.freshness.needs_refresh(self.now())
 
+        if self._server_replica_reads:
+            # Only replicated servers consume the routing hints; keep the
+            # tuple construction off the single-server hot path.
+            self._origin_read_context = (
+                level_consistency,
+                self._causal_frontier
+                if level_consistency is ConsistencyLevel.CAUSAL
+                else None,
+            )
         result = self._fetch(key, level_consistency, refresh_due)
+        if (
+            isinstance(result.value, dict)
+            and result.value.get("error") == "unavailable"
+        ):
+            # Structured 503 from a replicated cluster: the shard cannot
+            # serve this read at the requested level right now.  The failed
+            # round trip must not whitelist the key or touch session state.
+            if refresh_due:
+                self.refresh_bloom_filter()
+            return self._unavailable_result(key, "reads")
         document, version = self._unpack_record(result)
 
         result = self._enforce_monotonic_reads(key, result, document, version)
@@ -192,6 +224,19 @@ class QuaestorClient:
 
         result = self._fetch(key, level_consistency, refresh_due)
         body = result.value if isinstance(result.value, dict) else {}
+        if body.get("error") == "unavailable":
+            # Every shard primary is down: total scatter unavailability.
+            if refresh_due:
+                self.refresh_bloom_filter()
+            return self._unavailable_result(key, "queries", value=[])
+        # A degraded merge (some shard down, partial result) is served for
+        # availability but is NOT an authoritative response: it must never
+        # whitelist the key as fresh (a stale cached full result would then
+        # skip the revalidation the EBF flag demanded) nor advance causal
+        # state.
+        degraded = "shard_errors" in body
+        if degraded:
+            self.counters.increment("degraded_queries")
         representation = body.get("representation", ResultRepresentation.OBJECT_LIST.value)
 
         if representation == ResultRepresentation.OBJECT_LIST.value:
@@ -202,6 +247,13 @@ class QuaestorClient:
         else:
             documents, extra_levels = self._assemble_id_list(query.collection, body.get("ids", []))
             value = documents
+            if ERROR_LEVEL in extra_levels:
+                # A member record could not be served (its shard is down):
+                # the assembled result is partial and must be treated like a
+                # degraded merge -- served, but never whitelisted as fresh
+                # and never advancing causal state.
+                degraded = True
+                self.counters.increment("degraded_queries")
 
         final = ClientResult(
             key=key,
@@ -215,9 +267,17 @@ class QuaestorClient:
             # Refresh before whitelisting so the revalidated result stays
             # whitelisted until the next EBF renewal (see read()).
             self.refresh_bloom_filter()
-        if final.revalidated or final.level == ORIGIN_LEVEL:
-            self.whitelist.add(key)
-        self._update_causal_state(final, level_consistency)
+        if not degraded:
+            if final.revalidated or final.level == ORIGIN_LEVEL:
+                self.whitelist.add(key)
+            self._update_causal_state(final, level_consistency)
+        elif level_consistency is ConsistencyLevel.CAUSAL:
+            # The partial merge still delivered origin-fresh documents from
+            # the surviving shards; causal order demands subsequent reads
+            # revalidate (the safe direction).  The causal *frontier* is
+            # deliberately not advanced -- a partial result is not evidence
+            # that replicas have caught up to anything.
+            self._causal_revalidate = True
         return final
 
     # -- writes -------------------------------------------------------------------------------
@@ -229,6 +289,8 @@ class QuaestorClient:
         document_id = str(document.get("_id", ""))
         key = record_key(collection, document_id)
         self._after_own_write(key, response)
+        if response.status is StatusCode.SERVICE_UNAVAILABLE:
+            return self._unavailable_result(key, "writes")
         body = response.body or {}
         return ClientResult(
             key=key,
@@ -249,6 +311,8 @@ class QuaestorClient:
         self.client_cache.remove(key)
         response = self.server.handle_update(collection, document_id, update)
         self._after_own_write(key, response)
+        if response.status is StatusCode.SERVICE_UNAVAILABLE:
+            return self._unavailable_result(key, "writes")
         body = response.body or {}
         return ClientResult(
             key=key,
@@ -264,7 +328,10 @@ class QuaestorClient:
         key = record_key(collection, document_id)
         self.client_cache.remove(key)
         response = self.server.handle_delete(collection, document_id)
+        if response.status is StatusCode.SERVICE_UNAVAILABLE:
+            return self._unavailable_result(key, "writes")
         self.session.record_own_write(key, version=-1, document=None)
+        self._causal_frontier = self.now()
         return ClientResult(
             key=key,
             value=(response.body or {}).get("document"),
@@ -336,6 +403,17 @@ class QuaestorClient:
         if key.startswith("record:"):
             _, _, rest = key.partition(":")
             collection, _, document_id = rest.partition("/")
+            if self._server_replica_reads:
+                # The replicated cluster routes the read by the session's
+                # consistency level (strong pins the primary; Delta-atomic/
+                # causal reads may scale out to replicas).
+                level, min_timestamp = self._origin_read_context
+                return self.server.handle_read(
+                    collection,
+                    document_id,
+                    consistency=level,
+                    min_timestamp=min_timestamp,
+                )
             return self.server.handle_read(collection, document_id)
         query = self._known_queries.get(key)
         if query is None:
@@ -458,7 +536,12 @@ class QuaestorClient:
             observe_read(key, version, document)
 
     def _assemble_id_list(self, collection: str, ids: List[str]) -> tuple:
-        """Fetch each member record of an id-list result through the cache chain."""
+        """Fetch each member record of an id-list result through the cache chain.
+
+        Member reads that fail (shard down, ``ERROR_LEVEL``) leave a gap in
+        the documents but keep their level in the level list, so the caller
+        can tell a partial assembly from a complete one.
+        """
         documents: List[Document] = []
         levels: List[str] = []
         for document_id in ids:
@@ -468,12 +551,25 @@ class QuaestorClient:
             levels.append(record_result.level)
         return documents, levels
 
+    def _unavailable_result(self, key: str, kind: str, value: Any = None) -> ClientResult:
+        """The one definition of an unavailability outcome.
+
+        Counts the failure (``unavailable_<kind>``) and returns the
+        ERROR_LEVEL result; no session state, whitelist entry or cache store
+        may ever accompany a failed request.
+        """
+        self.counters.increment(f"unavailable_{kind}")
+        return ClientResult(key=key, value=value, level=ERROR_LEVEL)
+
     def _after_own_write(self, key: str, response: Response) -> None:
         body = response.body or {}
         version = body.get("version", 1)
         document = body.get("document")
         if response.status in (StatusCode.OK, StatusCode.CREATED):
             self.session.record_own_write(key, version, document)
+            # An acknowledged write advances the causal frontier: replicas
+            # may only serve this session once they have applied it.
+            self._causal_frontier = self.now()
 
     def _update_causal_state(self, result: ClientResult, consistency: ConsistencyLevel) -> None:
         if consistency is not ConsistencyLevel.CAUSAL:
@@ -483,6 +579,9 @@ class QuaestorClient:
         # preserve causal order (option 2 in Section 3.2).
         if result.level in (ORIGIN_LEVEL, "cdn"):
             self._causal_revalidate = True
+            # The session observed (potentially) primary-fresh state: lagging
+            # replicas must catch up to this instant before serving it again.
+            self._causal_frontier = self.now()
 
     # -- statistics -----------------------------------------------------------------------------------------
 

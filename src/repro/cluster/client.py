@@ -19,11 +19,12 @@ does not describe, so the facade refuses rather than silently miscommitting.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.bloom.bloom_filter import BloomFilter
 from repro.clock import Clock
 from repro.cluster.deployment import QuaestorCluster
+from repro.core.consistency import ConsistencyLevel
 from repro.core.server import InvalidationHook, PurgeTarget
 from repro.db.documents import Document
 from repro.db.query import Query
@@ -34,6 +35,11 @@ from repro.workloads.operations import Operation, dispatch_operation
 
 class ClusterClient:
     """Server-protocol facade over a :class:`QuaestorCluster`."""
+
+    #: Advertises that record reads accept ``consistency``/``min_timestamp``
+    #: routing hints (the SDK only forwards them to servers that opt in, so
+    #: stub servers in tests keep their two-argument ``handle_read``).
+    supports_replica_reads = True
 
     def __init__(self, cluster: QuaestorCluster) -> None:
         self.cluster = cluster
@@ -59,8 +65,22 @@ class ClusterClient:
 
     # -- protocol: reads ----------------------------------------------------------------
 
-    def handle_read(self, collection: str, document_id: str) -> Response:
-        return self.cluster.read(collection, document_id)
+    def handle_read(
+        self,
+        collection: str,
+        document_id: str,
+        consistency: Optional[ConsistencyLevel] = None,
+        min_timestamp: Optional[float] = None,
+    ) -> Response:
+        """Route a record read, honouring the session's consistency level.
+
+        Delta-atomic and causal sessions may be served by a shard replica
+        (read scale-out / fail-stale availability); STRONG always reaches the
+        primary.  See :meth:`QuaestorCluster.read`.
+        """
+        return self.cluster.read(
+            collection, document_id, consistency=consistency, min_timestamp=min_timestamp
+        )
 
     def handle_query(self, query: Query) -> Response:
         return self.cluster.query(query)

@@ -26,16 +26,43 @@ admit-then-discover-the-rejection sequence incurred.
 Writes route to the owning shard; batches are grouped per shard and applied
 through :meth:`~repro.core.QuaestorServer.handle_write_batch`, which pumps
 the invalidation queues once per batch (batched write propagation).
+
+Replication and failure handling
+--------------------------------
+Every shard is wrapped in a :class:`~repro.replication.ReplicaGroup`: a
+primary plus ``replication_factor - 1`` asynchronously shipped replicas
+(:mod:`repro.replication`).  Record reads route through the group, which may
+serve Delta-atomic/causal sessions from a replica; STRONG reads and all
+writes need the primary.  When a primary is down:
+
+* record reads degrade to replicas where the consistency level allows it,
+  otherwise the caller receives a structured 503 response,
+* writes receive the structured 503 response,
+* scatter queries skip the dead shard and return a *degraded* merge -- the
+  surviving sub-results, uncacheable, with a ``shard_errors`` map in the
+  body -- instead of raising through the whole request, and
+* :meth:`QuaestorCluster.failover` promotes the freshest replica, re-routes
+  the shard to the new server and rebuilds the InvaliDB registrations and
+  active-list entries of every query the cluster had committed (the cluster
+  keeps that registry -- the control-plane knowledge that survives any
+  single node).  The shared Expiring Bloom Filter degrades fail-stale: lost
+  log suffixes and rebuilt query keys are flagged invalid, so caches
+  revalidate rather than trust state the new primary never had.
+
+With ``replication_factor=1`` and no injected faults all of this is a strict
+no-op: the group routes every request to its primary through the identical
+code path.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.bloom.bloom_filter import BloomFilter
 from repro.clock import Clock, VirtualClock
 from repro.core.config import QuaestorConfig
+from repro.core.consistency import ConsistencyLevel
 from repro.core.representation import (
     choose_representation,
     object_list_body,
@@ -45,12 +72,15 @@ from repro.core.server import PurgeTarget, InvalidationHook, QuaestorServer
 from repro.db.database import Database
 from repro.db.documents import Document
 from repro.db.query import Query, apply_sort_and_window
+from repro.errors import ShardUnavailableError
 from repro.invalidb.cluster import InvaliDBCluster
 from repro.metrics.counters import Counter
 from repro.cluster.metrics import ClusterMetrics
 from repro.cluster.router import ShardRouter
+from repro.replication.config import ReplicationConfig
+from repro.replication.group import ReplicaGroup
 from repro.rest.etags import etag_for_result
-from repro.rest.messages import Response
+from repro.rest.messages import Response, StatusCode
 from repro.simulation.staleness import StalenessAuditor
 from repro.workloads.dataset import Dataset, INDEXED_QUERY_FIELD
 from repro.workloads.operations import Operation, OperationType
@@ -58,7 +88,11 @@ from repro.workloads.operations import Operation, OperationType
 
 @dataclass
 class QuaestorShard:
-    """One shard of a cluster: a database plus the Quaestor server on top."""
+    """One shard of a cluster: the *current primary* database and server.
+
+    The fields are re-pointed on failover, so holders of the shard object
+    always observe the serving primary.
+    """
 
     shard_id: int
     database: Database
@@ -98,6 +132,7 @@ class QuaestorCluster:
         dataset: Optional[Dataset] = None,
         replicas: int = 64,
         create_indexes: bool = True,
+        replication: Optional[ReplicationConfig] = None,
     ) -> None:
         if num_shards <= 0:
             raise ValueError("num_shards must be positive")
@@ -106,6 +141,8 @@ class QuaestorCluster:
         self.router = ShardRouter(num_shards, replicas=replicas)
         self.auditor = auditor if auditor is not None else StalenessAuditor()
         self.counters = Counter()
+        self.replication = replication if replication is not None else ReplicationConfig()
+        self._matching_nodes = matching_nodes
 
         databases = [Database(clock=self.clock) for _ in range(num_shards)]
         if dataset is not None:
@@ -124,7 +161,56 @@ class QuaestorCluster:
             )
             for shard_id, database in enumerate(databases)
         ]
+        #: One replica group per shard (a strict no-op wrapper at RF=1).
+        #: Replicas are seeded from the primary *after* the dataset pre-load,
+        #: so every copy starts from the same state and version sequence.
+        self.groups: List[ReplicaGroup] = [
+            ReplicaGroup(
+                shard_id=shard.shard_id,
+                database=shard.database,
+                server=shard.server,
+                server_factory=self._build_server,
+                clock=self.clock,
+                config=self.replication,
+            )
+            for shard in self.shards
+        ]
+        #: Queries whose fleet-wide admission committed: the control-plane
+        #: registry failover uses to rebuild InvaliDB registrations and
+        #: active-list entries on a promoted primary.
+        self._registered_queries: Dict[str, Query] = {}
+        #: Purge targets / invalidation hooks registered fleet-wide, retained
+        #: so a server installed by failover is wired identically to the one
+        #: it replaces (otherwise CDN purges would silently stop post-crash).
+        self._purge_targets: List[PurgeTarget] = []
+        self._invalidation_hooks: List[InvalidationHook] = []
+        #: Counter snapshots of servers retired by failover, per shard, so
+        #: cluster statistics keep covering the whole run (gauges excluded --
+        #: only the live server's gauges are meaningful).
+        self._retired_statistics: Dict[int, Dict[str, float]] = {}
+        #: When each shard's primary went down (cleared when service
+        #: resumes); lets recovery paths honour the failure-detection delay.
+        self._primary_down_at: Dict[int, float] = {}
         self.metrics = ClusterMetrics(self)
+
+    def _build_server(self, database: Database, ebf, ttl_estimator) -> QuaestorServer:
+        """Server factory for promoted replicas.
+
+        The Expiring Bloom Filter and TTL estimator are handed through from
+        the replica group: they model the shared coherence tier (the paper
+        keeps this bookkeeping in Redis, not on the Quaestor process), so
+        they survive the crash.  The InvaliDB matching cluster does *not* --
+        it dies with the primary and is rebuilt empty here; the cluster
+        re-registers the committed queries afterwards.
+        """
+        return QuaestorServer(
+            database,
+            config=self.config,
+            invalidb=InvaliDBCluster(matching_nodes=self._matching_nodes),
+            ttl_estimator=ttl_estimator,
+            ebf=ebf,
+            auditor=self.auditor,
+        )
 
     # -- construction helpers ---------------------------------------------------------
 
@@ -154,11 +240,17 @@ class QuaestorCluster:
     # -- fleet-wide wiring --------------------------------------------------------------
 
     def register_purge_target(self, target: PurgeTarget) -> None:
-        """Register a purge target (e.g. the shared CDN) with every shard."""
+        """Register a purge target (e.g. the shared CDN) with every shard.
+
+        Retained cluster-side as well: a server installed by failover must be
+        wired to the same targets as the one it replaces.
+        """
+        self._purge_targets.append(target)
         for shard in self.shards:
             shard.server.register_purge_target(target)
 
     def add_invalidation_hook(self, hook: InvalidationHook) -> None:
+        self._invalidation_hooks.append(hook)
         for shard in self.shards:
             shard.server.add_invalidation_hook(hook)
 
@@ -170,17 +262,32 @@ class QuaestorCluster:
         merged cached result as potentially stale.  The OR runs once over all
         shard snapshots (:meth:`BloomFilter.union_all`) instead of allocating
         one intermediate merged filter per shard.
+
+        The per-shard filter is the replica group's *persistent* EBF (the
+        shared coherence tier), so a primary crash never drops stale flags
+        from the union -- the degradation mode is fail-stale by construction.
         """
         self.counters.increment("ebf_downloads")
         now = self.clock.now()
-        return BloomFilter.union_all(
-            [shard.server.ebf.to_flat(now) for shard in self.shards]
-        )
+        return BloomFilter.union_all([group.ebf.to_flat(now) for group in self.groups])
 
     # -- read path -----------------------------------------------------------------------
 
-    def read(self, collection: str, document_id: str) -> Response:
-        """Route a record read to its owning shard.
+    def read(
+        self,
+        collection: str,
+        document_id: str,
+        consistency: Optional[ConsistencyLevel] = None,
+        min_timestamp: Optional[float] = None,
+    ) -> Response:
+        """Route a record read to its owning shard's replica group.
+
+        ``consistency`` selects the read's routing (STRONG pins the primary;
+        Delta-atomic/causal sessions may be served by a replica -- see
+        :meth:`repro.replication.ReplicaGroup.read`); ``min_timestamp`` is a
+        causal session's frontier.  When no node of the owning shard can
+        serve the request, a structured 503 response is returned instead of
+        an exception.
 
         Collections are materialised on every shard at insert/load time, so
         the hot path needs no existence scan; a read of a collection that was
@@ -188,15 +295,39 @@ class QuaestorCluster:
         """
         self.counters.increment("reads")
         shard_id = self.router.record_read(collection, document_id)
-        return self.shards[shard_id].server.handle_read(collection, document_id)
+        try:
+            return self.groups[shard_id].read(
+                collection, document_id, consistency=consistency, min_timestamp=min_timestamp
+            )
+        except ShardUnavailableError:
+            self.counters.increment("read_errors")
+            return self._unavailable_response(shard_id)
+
+    @staticmethod
+    def _unavailable_response(shard_id: int) -> Response:
+        """The structured 503 a caller sees instead of a raised exception."""
+        return Response.uncacheable(
+            {"error": "unavailable", "shard": shard_id},
+            status=StatusCode.SERVICE_UNAVAILABLE,
+        )
 
     def query(self, query: Query) -> Response:
-        """Scatter ``query`` over every shard with two-phase admission, then merge.
+        """Scatter ``query`` over every live shard with two-phase admission.
 
         Phase one probes every shard without side effects; phase two commits
         the admission slots and InvaliDB registrations only when *all* shards
         admitted, and aborts them all otherwise (min-TTL-wins would make the
         merge uncacheable anyway, so partial bookkeeping would be pure waste).
+
+        Shards whose primary is down are skipped and reported in the merged
+        body's ``shard_errors`` map: the caller receives the surviving
+        sub-results as a *degraded*, uncacheable merge rather than an
+        exception through the whole request.  Degraded merges take no
+        registrations (their partial content must never be cached or drive
+        invalidation state) and are not recorded as authoritative versions
+        with the staleness auditor.  Only when every shard is up does the
+        commit also enter the query into the cluster's registry, which
+        failover later uses to rebuild registrations on a promoted primary.
 
         Collections are materialised on every shard at insert/load time, so
         no existence scan is needed here; querying a collection that was
@@ -205,16 +336,33 @@ class QuaestorCluster:
         self.counters.increment("scatter_queries")
         now = self.clock.now()
         scatter = self._scatter_query(query)
-        prepared = [shard.server.prepare_shard_query(query, scatter) for shard in self.shards]
-        if all(read.admitted for read in prepared):
+        prepared = []
+        shard_errors: Dict[int, str] = {}
+        for shard in self.shards:
+            if not self.groups[shard.shard_id].primary_alive:
+                shard_errors[shard.shard_id] = "primary-unavailable"
+                continue
+            prepared.append(shard.server.prepare_shard_query(query, scatter))
+        if shard_errors:
+            self.counters.increment("scatter_queries_degraded")
+            self.counters.increment("scatter_shard_errors", len(shard_errors))
+        if not prepared:
+            # Every shard is down: nothing to merge, total unavailability.
+            self.counters.increment("query_errors")
+            return Response.uncacheable(
+                {"error": "unavailable", "shard_errors": shard_errors},
+                status=StatusCode.SERVICE_UNAVAILABLE,
+            )
+        if not shard_errors and all(read.admitted for read in prepared):
             responses = [read.commit() for read in prepared]
+            self._registered_queries[query.cache_key] = query
         else:
-            if any(read.admitted for read in prepared):
+            if not shard_errors and any(read.admitted for read in prepared):
                 # At least one probe succeeded but another shard rejected:
                 # the fleet-wide abort the two-phase protocol exists for.
                 self.counters.increment("scatter_queries_aborted")
             responses = [read.abort() for read in prepared]
-        return self._merge_query_responses(query, responses, now)
+        return self._merge_query_responses(query, responses, now, shard_errors=shard_errors)
 
     def _scatter_query(self, query: Query) -> Query:
         """The per-shard fetch window covering the global result window.
@@ -229,7 +377,11 @@ class QuaestorCluster:
         return Query(query.collection, query.criteria, sort=query.sort, limit=fetch_limit)
 
     def _merge_query_responses(
-        self, query: Query, responses: Sequence[Response], now: float
+        self,
+        query: Query,
+        responses: Sequence[Response],
+        now: float,
+        shard_errors: Optional[Dict[int, str]] = None,
     ) -> Response:
         documents: List[Document] = []
         versions: Dict[str, int] = {}
@@ -246,6 +398,17 @@ class QuaestorCluster:
             str(document["_id"]): versions.get(str(document["_id"]), 0)
             for document in documents
         }
+
+        if shard_errors:
+            # Degraded merge: some shards contributed nothing.  The partial
+            # window is served (availability over completeness) but is never
+            # cacheable, carries the per-shard error map and no ETag, and is
+            # *not* recorded as an authoritative version -- a partial result
+            # must not enter the staleness audit history as truth.
+            body = object_list_body(documents, window_versions, record_ttl=0.0)
+            body["shard_errors"] = dict(shard_errors)
+            return Response.uncacheable(body)
+
         etag = etag_for_result(window_versions)
         self.auditor.record_version(query.cache_key, etag, now)
 
@@ -276,20 +439,30 @@ class QuaestorCluster:
     def insert(self, collection: str, document: Document) -> Response:
         self.counters.increment("writes")
         # Inserting is what brings a collection into existence; materialise it
-        # everywhere so scatter queries see a consistent schema.
-        for shard in self.shards:
-            shard.database.create_collection(collection)
+        # everywhere (including replicas, so a promoted replica can serve
+        # scatter queries) so queries see a consistent schema.
+        for group in self.groups:
+            group.ensure_collection(collection)
         shard_id = self.router.record_write(collection, str(document.get("_id", "")))
+        if not self.groups[shard_id].primary_alive:
+            self.counters.increment("write_errors")
+            return self._unavailable_response(shard_id)
         return self.shards[shard_id].server.handle_insert(collection, document)
 
     def update(self, collection: str, document_id: str, update: Document) -> Response:
         self.counters.increment("writes")
         shard_id = self.router.record_write(collection, document_id)
+        if not self.groups[shard_id].primary_alive:
+            self.counters.increment("write_errors")
+            return self._unavailable_response(shard_id)
         return self.shards[shard_id].server.handle_update(collection, document_id, update)
 
     def delete(self, collection: str, document_id: str) -> Response:
         self.counters.increment("writes")
         shard_id = self.router.record_write(collection, document_id)
+        if not self.groups[shard_id].primary_alive:
+            self.counters.increment("write_errors")
+            return self._unavailable_response(shard_id)
         return self.shards[shard_id].server.handle_delete(collection, document_id)
 
     def write_batch(self, operations: Sequence[Operation]) -> List[Response]:
@@ -309,16 +482,164 @@ class QuaestorCluster:
             for operation in operations
             if operation.type == OperationType.INSERT
         }:
-            for shard in self.shards:
-                shard.database.create_collection(name)
+            for group in self.groups:
+                group.ensure_collection(name)
         responses: List[Optional[Response]] = [None] * len(operations)
         for shard_id, indexed_operations in sorted(grouped.items()):
             self.router.record_writes_at(shard_id, count=len(indexed_operations))
+            if not self.groups[shard_id].primary_alive:
+                # The whole per-shard slice fails structurally; other shards'
+                # slices still apply (per-shard atomicity, like a real fleet).
+                self.counters.increment("write_errors", len(indexed_operations))
+                for index, _operation in indexed_operations:
+                    responses[index] = self._unavailable_response(shard_id)
+                continue
             batch = [operation for _index, operation in indexed_operations]
             shard_responses = self.shards[shard_id].server.handle_write_batch(batch)
             for (index, _operation), response in zip(indexed_operations, shard_responses):
                 responses[index] = response
         return list(responses)
+
+    # -- replication fault surface ---------------------------------------------------------
+
+    def shard_of(self, node_id: str) -> int:
+        """The shard a node id (``"s<shard>:n<index>"``) belongs to."""
+        for group in self.groups:
+            for node in group.nodes:
+                if node.node_id == node_id:
+                    return group.shard_id
+        raise KeyError(f"unknown node id {node_id!r}")
+
+    def crash_node(self, node_id: str) -> Tuple[int, bool]:
+        """Crash a node; returns ``(shard_id, lost_primary)``.
+
+        Crashing a primary makes its shard unavailable for writes and strong
+        reads until :meth:`failover` promotes a replica (or the node
+        recovers); Delta-atomic/causal record reads keep flowing to the
+        surviving replicas.
+        """
+        shard_id = self.shard_of(node_id)
+        lost_primary = self.groups[shard_id].crash(node_id)
+        self.counters.increment("node_crashes")
+        if lost_primary:
+            self._primary_down_at.setdefault(shard_id, self.clock.now())
+        return shard_id, lost_primary
+
+    def recover_node(self, node_id: str) -> Tuple[int, str]:
+        """Recover a crashed node; returns ``(shard_id, role)``.
+
+        A node rejoining a healthy group resyncs as a replica.  If it ends a
+        total shard outage it resumes as primary, in which case the cluster
+        rebuilds the committed query registrations exactly like after a
+        promotion (the recovered process has an empty InvaliDB).
+        """
+        shard_id = self.shard_of(node_id)
+        group = self.groups[shard_id]
+        role = group.recover(node_id)
+        self.counters.increment("node_recoveries")
+        if role == "primary":
+            self._install_primary(group)
+        elif not group.primary_alive and self._detection_elapsed(shard_id):
+            # A candidate rejoined a primary-less group whose failure
+            # detection has already fired (any pending failover found nothing
+            # to promote): promote the freshest candidate now.  Inside the
+            # detection window nothing happens here -- the election in
+            # flight (e.g. the injector's scheduled failover) completes on
+            # its own schedule and will see this candidate.
+            info = self.failover(shard_id)
+            if info is not None and info["node_id"] == node_id:
+                role = "primary"
+        return shard_id, role
+
+    def primary_down_since(self, shard_id: int) -> Optional[float]:
+        """When the shard's primary went down (``None`` while it serves).
+
+        The single authoritative tracker behind both the detection-window
+        arithmetic here and the fault injector's time-to-recover metrics.
+        """
+        return self._primary_down_at.get(shard_id)
+
+    def _detection_elapsed(self, shard_id: int) -> bool:
+        """Whether the shard's failure-detection delay has fully elapsed."""
+        down_at = self._primary_down_at.get(shard_id)
+        if down_at is None:
+            return True
+        return self.clock.now() - down_at >= self.replication.failover_detection_delay
+
+    def partition(self, node_a: str, node_b: str) -> None:
+        """Partition the replication link between two nodes of one shard."""
+        shard_id = self.shard_of(node_a)
+        if self.shard_of(node_b) != shard_id:
+            raise ValueError("partitions act on the replication links within one shard")
+        self.groups[shard_id].partition(node_a, node_b)
+        self.counters.increment("partitions")
+
+    def heal(self, node_a: str, node_b: str) -> None:
+        """Heal a partition; the backlogged log ships shortly after."""
+        shard_id = self.shard_of(node_a)
+        self.groups[shard_id].heal(node_a, node_b)
+        self.counters.increment("partition_heals")
+
+    def failover(self, shard_id: int) -> Optional[Dict[str, object]]:
+        """Promote the freshest replica of ``shard_id`` and re-route to it.
+
+        Returns the promotion record (or ``None`` when the primary is alive
+        again or no replica survived).  After the promotion the shard entry
+        points at the new server and every query the cluster had committed is
+        re-registered there: the scatter pipeline re-runs prepare/commit so
+        the InvaliDB registration, active-list entry and EBF report are
+        rebuilt from the promoted database, and the query key itself is
+        flagged stale in the shared filter so cached merged results
+        revalidate instead of trusting a result the new primary may never
+        have served (fail-stale).
+        """
+        group = self.groups[shard_id]
+        info = group.promote()
+        if info is None:
+            return None
+        self.counters.increment("failovers")
+        self._install_primary(group)
+        return info
+
+    #: Point-in-time gauges in a server statistics snapshot; excluded when a
+    #: retired server's counters are folded into the cluster totals (only the
+    #: live server's gauges are meaningful, and summing gauges double-counts).
+    _GAUGE_STATISTICS = frozenset(
+        ("active_queries", "invalidb_active_queries", "ebf_stale_keys", "ebf_fill_ratio")
+    )
+
+    def _install_primary(self, group: ReplicaGroup) -> None:
+        """Point the shard at the group's current primary and rebuild state."""
+        self._primary_down_at.pop(group.shard_id, None)
+        shard = self.shards[group.shard_id]
+        if shard.server is not group.server:
+            # Fold the retired server's counters into the shard's retained
+            # baseline so cluster statistics keep covering the whole run.
+            retained = self._retired_statistics.setdefault(group.shard_id, {})
+            for name, value in shard.server.statistics().items():
+                if name in self._GAUGE_STATISTICS or isinstance(value, bool):
+                    continue
+                if isinstance(value, (int, float)):
+                    retained[name] = retained.get(name, 0) + value
+        shard.server = group.server
+        shard.database = group.database
+        now = self.clock.now()
+        server = group.server
+        # Wire the promoted server exactly like the one it replaces.
+        for target in self._purge_targets:
+            server.register_purge_target(target)
+        for hook in self._invalidation_hooks:
+            server.add_invalidation_hook(hook)
+        for query_key, query in self._registered_queries.items():
+            prepared = server.prepare_shard_query(query, self._scatter_query(query))
+            if prepared.admitted:
+                prepared.commit()
+            else:
+                prepared.abort()
+            # Fail-stale: whatever merged result caches still hold may
+            # predate the promoted database; force revalidation.
+            group.ebf.report_invalidation(query_key, now)
+            self.counters.increment("failover_requeries")
 
     # -- statistics -----------------------------------------------------------------------
 
@@ -327,4 +648,7 @@ class QuaestorCluster:
         return self.metrics.statistics()
 
     def __repr__(self) -> str:
-        return f"QuaestorCluster(num_shards={self.num_shards})"
+        return (
+            f"QuaestorCluster(num_shards={self.num_shards}, "
+            f"replication_factor={self.replication.replication_factor})"
+        )

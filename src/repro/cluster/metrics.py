@@ -38,10 +38,20 @@ class ClusterMetrics:
         self._cluster = cluster
 
     def per_shard_statistics(self) -> Dict[int, Dict[str, float]]:
-        """Each shard's raw server statistics, keyed by shard id."""
-        return {
-            shard.shard_id: shard.server.statistics() for shard in self._cluster.shards
-        }
+        """Each shard's server statistics, keyed by shard id.
+
+        Counters of servers retired by failover are folded in (the cluster
+        retains their snapshots), so a shard's numbers cover the whole run,
+        not just the tenure of its current primary.
+        """
+        merged: Dict[int, Dict[str, float]] = {}
+        retired = getattr(self._cluster, "_retired_statistics", {})
+        for shard in self._cluster.shards:
+            snapshot = dict(shard.server.statistics())
+            for name, value in retired.get(shard.shard_id, {}).items():
+                snapshot[name] = snapshot.get(name, 0) + value
+            merged[shard.shard_id] = snapshot
+        return merged
 
     def statistics(self) -> Dict[str, float]:
         """One flat cluster-wide snapshot: summed counters + routing indicators.
@@ -57,6 +67,35 @@ class ClusterMetrics:
         snapshot["shards"] = self._cluster.num_shards
         snapshot["routing_imbalance"] = self._cluster.router.imbalance()
         snapshot["scatter_abort_rate"] = self.scatter_abort_rate()
+        snapshot["replication_factor"] = self._cluster.replication.replication_factor
+        for name, value in self.replication_statistics().items():
+            snapshot[name] = value
+        return snapshot
+
+    def replication_statistics(self) -> Dict[str, float]:
+        """Aggregated replica-group counters plus availability indicators.
+
+        ``replica_read_share`` is the fraction of shard record reads served
+        by replicas (the read scale-out replication buys);
+        ``shard_error_rate`` is the fraction of scatter queries that came
+        back degraded because at least one shard's primary was down.
+        """
+        merged = aggregate_statistics(
+            [group.counters.as_dict() for group in self._cluster.groups]
+        )
+        snapshot: Dict[str, float] = {
+            f"replication_{name}": value for name, value in merged.items()
+        }
+        primary = merged.get("primary_reads", 0)
+        replica = merged.get("replica_reads", 0)
+        snapshot["replica_read_share"] = (
+            replica / (primary + replica) if (primary + replica) else 0.0
+        )
+        counters = self._cluster.counters
+        scatters = counters.get("scatter_queries")
+        snapshot["shard_error_rate"] = (
+            counters.get("scatter_queries_degraded") / scatters if scatters else 0.0
+        )
         return snapshot
 
     def scatter_abort_rate(self) -> float:

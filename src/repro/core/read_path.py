@@ -86,6 +86,40 @@ class ReadContext:
         return cls(cache_key=query.cache_key, now=now, query=query, fetch_query=fetch_query)
 
 
+def render_record_read(
+    collection: str,
+    document_id: str,
+    document: Document,
+    version: int,
+    now: float,
+    config,
+    ttl_estimator,
+    ebf,
+) -> Response:
+    """Render a record-read response: body shape, ETag, TTL, EBF report.
+
+    The single definition of what a served record looks like on the wire,
+    shared by the primary pipeline (:meth:`ReadPipeline.run_record_read`) and
+    the replication layer's replica reads
+    (:meth:`repro.replication.ReplicaGroup._replica_read` hands in the
+    replica's document/version with the group's persistent estimator and
+    filter).  Client-side version-keyed caches rely on primary- and
+    replica-served records being byte-shaped identically; sharing this helper
+    makes that a structural guarantee instead of a convention.
+    """
+    etag = etag_for_version(collection, document_id, version)
+    body = {"document": document, "version": version}
+    if not config.cache_records:
+        response = Response.uncacheable(body)
+        response.etag = etag
+        return response
+    key = record_key(collection, document_id)
+    ttl = ttl_estimator.estimate_record(key, now)
+    shared_ttl = ttl * config.cdn_ttl_factor
+    ebf.report_read(key, shared_ttl, now)
+    return Response.ok(body, ttl=ttl, shared_ttl=shared_ttl, etag=etag)
+
+
 class ReadPipeline:
     """The staged cacheable read path, bound to one :class:`QuaestorServer`."""
 
@@ -186,27 +220,29 @@ class ReadPipeline:
     def run_record_read(self, collection: str, document_id: str) -> Response:
         """The single-record path (``handle_read``)."""
         server = self.server
-        key = record_key(collection, document_id)
-        ctx = ReadContext(cache_key=key, now=server.now())
+        now = server.now()
         try:
             document = server.database.get(collection, document_id)
             version = server.database.collection(collection).version(document_id)
         except DocumentNotFoundError:
             return Response.uncacheable(None, status=StatusCode.NOT_FOUND)
 
-        ctx.etag = etag_for_version(collection, document_id, version)
-        server.auditor.record_version(key, ctx.etag, ctx.now)
-
-        body = {"document": document, "version": version}
-        if not server.config.cache_records:
-            response = Response.uncacheable(body)
-            response.etag = ctx.etag
-            return response
-
-        ctx.ttl = server.ttl_estimator.estimate_record(key, ctx.now)
-        ctx.shared_ttl = ctx.ttl * server.config.cdn_ttl_factor
-        self.report_to_ebf(ctx)
-        return Response.ok(body, ttl=ctx.ttl, shared_ttl=ctx.shared_ttl, etag=ctx.etag)
+        response = render_record_read(
+            collection,
+            document_id,
+            document,
+            version,
+            now,
+            config=server.config,
+            ttl_estimator=server.ttl_estimator,
+            ebf=server.ebf,
+        )
+        # Primary-only: the authoritative version enters the audit history
+        # (replica reads share the rendering above but never this record).
+        server.auditor.record_version(
+            record_key(collection, document_id), response.etag, now
+        )
+        return response
 
     def run_query(self, query: Query) -> Response:
         """The single-server query path (``handle_query``): probe + commit."""

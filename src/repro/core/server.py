@@ -45,7 +45,10 @@ shard and talks to it through these additional entry points:
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Any, Callable, Dict, Iterator, List, Optional, Sequence, Union
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.core.consistency import ConsistencyLevel
 
 from repro.bloom.bloom_filter import BloomFilter
 from repro.bloom.expiring import ExpiringBloomFilter
@@ -138,7 +141,7 @@ class QuaestorServer:
 
         # Every acknowledged write flows through the change stream into the
         # invalidation machinery.
-        self.database.subscribe(self._on_change)
+        self._unsubscribe_change_stream = self.database.subscribe(self._on_change)
 
     # -- wiring -----------------------------------------------------------------------
 
@@ -157,6 +160,17 @@ class QuaestorServer:
         """Register a hook invoked whenever a key is marked stale."""
         self._invalidation_hooks.append(hook)
 
+    def close(self) -> None:
+        """Detach this server from its database's change stream.
+
+        Models process death in the replication layer: a crashed primary must
+        stop reacting to writes (there will be none -- the cluster stops
+        routing to it -- but the detachment makes the lifecycle explicit and
+        keeps a later database reuse from resurrecting a dead server's
+        invalidation machinery).  Idempotent.
+        """
+        self._unsubscribe_change_stream()
+
     # -- client bootstrap -----------------------------------------------------------------
 
     def get_bloom_filter(self) -> BloomFilter:
@@ -166,8 +180,20 @@ class QuaestorServer:
 
     # -- read path ---------------------------------------------------------------------------
 
-    def handle_read(self, collection: str, document_id: str) -> Response:
-        """Serve an individual record."""
+    def handle_read(
+        self,
+        collection: str,
+        document_id: str,
+        consistency: Optional["ConsistencyLevel"] = None,
+        min_timestamp: Optional[float] = None,
+    ) -> Response:
+        """Serve an individual record.
+
+        ``consistency`` and ``min_timestamp`` exist for protocol symmetry
+        with the replicated cluster facade (:class:`~repro.cluster.ClusterClient`):
+        a single server is its own primary, so every consistency level is
+        trivially satisfied here and the parameters are accepted and ignored.
+        """
         self.counters.increment("reads")
         return self.pipeline.run_record_read(collection, document_id)
 

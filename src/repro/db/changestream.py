@@ -1,9 +1,14 @@
 """Change stream: ordered after-images of every write operation.
 
-InvaliDB continuously matches record after-images against registered queries.
-The database therefore publishes a :class:`ChangeEvent` for every insert,
-update and delete; the events carry both before- and after-images so the
-matcher can decide between *add*, *change* and *remove* notifications.
+The stream has two consumers.  InvaliDB continuously matches record
+after-images against registered queries: the database publishes a
+:class:`ChangeEvent` for every insert, update and delete, carrying both
+before- and after-images so the matcher can decide between *add*, *change*
+and *remove* notifications.  The replication layer
+(:mod:`repro.replication`) subscribes to the same stream as its shipping
+log: every event is fanned out to the shard's replicas and applied after a
+modelled lag, which keeps replica version sequences in lock-step with the
+primary because the stream is totally ordered.
 """
 
 from __future__ import annotations
@@ -102,10 +107,27 @@ class ChangeStream:
     def replay_since(self, sequence: int) -> List[ChangeEvent]:
         """Events with a sequence strictly greater than ``sequence``.
 
-        Used when activating a query in InvaliDB: recently received objects
-        are replayed so no update in the activation window is missed.
+        Used when activating a query in InvaliDB (recently received objects
+        are replayed so no update in the activation window is missed) and by
+        the replication layer to compute a failover's loss window.  Callers
+        that need completeness must check :meth:`covers_since` first: the
+        retained history is bounded, so a sufficiently old ``sequence`` may
+        predate it.
         """
         return [event for event in self._history if event.sequence > sequence]
+
+    def covers_since(self, sequence: int) -> bool:
+        """Whether :meth:`replay_since` for ``sequence`` is provably complete.
+
+        True when nothing was ever truncated before the requested position:
+        either the stream never exceeded its retention, or the oldest
+        retained event directly follows ``sequence``.
+        """
+        if self._sequence <= sequence:
+            return True
+        if not self._history:
+            return False
+        return self._history[0].sequence <= sequence + 1
 
     @property
     def history(self) -> List[ChangeEvent]:

@@ -106,7 +106,12 @@ class Collection:
         after = apply_update(current, update)
         after["_id"] = current.get("_id", document_id)
         self._documents[document_id] = after
-        self._versions[document_id] += 1
+        # A restored floor can exceed the live version (failover: the deposed
+        # primary assigned numbers a promoted replica never applied); the
+        # next assignment must skip past it so no version ever names two
+        # contents.  Without a floor this is the plain +1.
+        floor = self._deleted_versions.pop(document_id, 0)
+        self._versions[document_id] = max(self._versions[document_id] + 1, floor + 1)
         self._indexes.update_document(document_id, before, after)
         self.writes += 1
         self._publish(OperationType.UPDATE, document_id, before=before, after=deep_copy(after))
@@ -125,7 +130,12 @@ class Collection:
             raise DocumentNotFoundError(f"{self.name}/{document_id} does not exist")
         final_version = self._versions.pop(document_id, None)
         if final_version is not None:
-            self._deleted_versions[document_id] = final_version
+            # Never lower an existing floor: a restored (failover) floor can
+            # exceed the live version, and clobbering it would let a later
+            # re-insert recycle version numbers the deposed primary issued.
+            self._deleted_versions[document_id] = max(
+                final_version, self._deleted_versions.get(document_id, 0)
+            )
         self._indexes.remove_document(document_id, current)
         self.writes += 1
         self._publish(OperationType.DELETE, document_id, before=deep_copy(current), after=None)
@@ -170,21 +180,37 @@ class Collection:
     # -- version continuity --------------------------------------------------------------
 
     def version_floors(self) -> Dict[str, int]:
-        """Last version issued for every id this collection ever stored.
+        """Highest version ever associated with every id this collection knows.
 
         Live documents report their current version, deleted ids their
-        tombstoned one.  :class:`~repro.db.database.Database` stashes this on
+        tombstoned one -- and when a restored (failover) floor exceeds the
+        live version, the floor wins: the floor records numbers a deposed
+        primary already issued, and masking it here would let a snapshot
+        resync or a later promotion silently drop the protection.
+        :class:`~repro.db.database.Database` stashes this on
         ``drop_collection`` and replays it into a re-created collection via
         :meth:`restore_version_floors`, so versions stay unique per content
         across the drop.
         """
         floors = dict(self._deleted_versions)
-        floors.update(self._versions)
+        for document_id, version in self._versions.items():
+            if version > floors.get(document_id, 0):
+                floors[document_id] = version
         return floors
 
     def restore_version_floors(self, floors: Dict[str, int]) -> None:
-        """Continue the version sequences of a predecessor collection."""
-        self._deleted_versions.update(floors)
+        """Continue the version sequences of a predecessor collection.
+
+        Floors apply to deleted ids (re-inserts continue past them) and --
+        since failover can leave a live document *behind* a version the old
+        primary already issued -- to live ids as well: the next update or
+        re-insert skips past the floor (see :meth:`update`/:meth:`insert`),
+        so a version number never aliases two contents across a promotion.
+        Only raises floors, never lowers them.
+        """
+        for document_id, floor in floors.items():
+            if floor > self._deleted_versions.get(document_id, 0):
+                self._deleted_versions[document_id] = floor
 
     # -- internals --------------------------------------------------------------------------
 

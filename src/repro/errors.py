@@ -40,6 +40,17 @@ class CapacityExceededError(QuaestorError):
     """
 
 
+class ShardUnavailableError(QuaestorError):
+    """The node a request routed to is down and no failover target can serve it.
+
+    Raised inside the replication layer when a shard's primary has crashed
+    and no replica is eligible for the requested consistency level (strong
+    reads and writes always need the primary).  The cluster facade converts
+    this into a structured 503 response at its boundary, so callers above the
+    deployment layer observe a degraded response instead of an exception.
+    """
+
+
 class TransactionAbortedError(QuaestorError):
     """Optimistic concurrency-control validation failed at commit time."""
 

@@ -1,0 +1,30 @@
+"""Fault injection: seeded crash / recover / partition scenarios.
+
+The ROADMAP's north star asks for "as many scenarios as you can imagine";
+this package makes failure one of them.  A
+:class:`~repro.faults.plan.FaultPlan` is a deterministic schedule of
+:class:`~repro.faults.plan.FaultEvent`\\ s -- scripted
+(:meth:`FaultPlan.primary_crash`, :meth:`FaultPlan.replica_partition`,
+:meth:`FaultPlan.rolling_primary_crashes`) or rate-based chaos drawn from a
+seeded RNG (:meth:`FaultPlan.chaos`).  The
+:class:`~repro.faults.injector.FaultInjector` replays the plan through the
+simulator's event queue against a replicated
+:class:`~repro.cluster.QuaestorCluster`, driving the failover machinery of
+:mod:`repro.replication` and recording the availability timeline
+(time-to-recover per outage).
+
+Attach a plan to :class:`~repro.simulation.SimulationConfig` via its
+``fault_plan`` field and any existing figure scenario replays under failures.
+"""
+
+from __future__ import annotations
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultAction, FaultEvent, FaultPlan
+
+__all__ = [
+    "FaultAction",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultInjector",
+]

@@ -1,0 +1,167 @@
+"""Fault plans: scripted and rate-based (chaos) failure schedules.
+
+A :class:`FaultPlan` is a time-ordered list of :class:`FaultEvent`\\ s the
+:class:`~repro.faults.injector.FaultInjector` schedules into the simulator's
+event queue.  Plans are plain data, so any existing figure scenario can be
+replayed under failures by attaching a plan to its
+:class:`~repro.simulation.SimulationConfig` -- nothing else changes.
+
+Targets are resolved *at fire time*:
+
+* ``"shard:2"`` -- whichever node is currently the primary of shard 2 (so a
+  second crash in a plan hits the promoted replica, like real chaos tooling
+  that targets roles, not hosts), and
+* ``"s2:n1"`` -- a specific node by id, whatever its current role.
+
+:meth:`FaultPlan.chaos` generates a plan from a seeded random process
+(exponential crash inter-arrivals, fixed downtime), so "rate-based chaos" is
+still perfectly reproducible: the same seed always yields the same schedule.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+
+
+class FaultAction(str, enum.Enum):
+    """The failure vocabulary of the injector."""
+
+    CRASH = "crash"
+    RECOVER = "recover"
+    PARTITION = "partition"
+    HEAL = "heal"
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault.
+
+    ``target`` names a node (``"s0:n1"``) or a role (``"shard:0"`` = that
+    shard's primary at fire time).  ``peer`` is only used by
+    PARTITION/HEAL, which act on a link between two nodes.
+    """
+
+    time: float
+    action: FaultAction
+    target: str
+    peer: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ConfigurationError("fault time must be non-negative")
+        if self.action in (FaultAction.PARTITION, FaultAction.HEAL) and self.peer is None:
+            raise ConfigurationError(f"{self.action.value} requires a peer node")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic failure schedule (sorted by time at construction)."""
+
+    events: Sequence[FaultEvent] = field(default_factory=tuple)
+    name: str = "custom"
+
+    def __post_init__(self) -> None:
+        ordered = tuple(sorted(self.events, key=lambda event: event.time))
+        object.__setattr__(self, "events", ordered)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    # -- canned scenarios ---------------------------------------------------------------
+
+    @classmethod
+    def primary_crash(
+        cls, shard: int = 0, at: float = 30.0, recover_at: Optional[float] = None
+    ) -> "FaultPlan":
+        """The canonical drill: crash one shard's primary, optionally recover it.
+
+        The crash resolves the *current* primary at fire time; the recovery
+        targets that same node (the injector remembers which node the crash
+        actually hit), which then rejoins as a replica of the promoted
+        primary.
+        """
+        events = [FaultEvent(at, FaultAction.CRASH, f"shard:{shard}")]
+        if recover_at is not None:
+            if recover_at <= at:
+                raise ConfigurationError("recover_at must come after the crash")
+            events.append(FaultEvent(recover_at, FaultAction.RECOVER, f"shard:{shard}"))
+        return cls(events=events, name=f"primary-crash/shard={shard}")
+
+    @classmethod
+    def rolling_primary_crashes(
+        cls, shards: Sequence[int], start: float = 20.0, spacing: float = 15.0,
+        downtime: Optional[float] = None,
+    ) -> "FaultPlan":
+        """Crash one primary per shard in sequence (rolling failure drill)."""
+        events: List[FaultEvent] = []
+        for offset, shard in enumerate(shards):
+            crash_at = start + offset * spacing
+            events.append(FaultEvent(crash_at, FaultAction.CRASH, f"shard:{shard}"))
+            if downtime is not None:
+                events.append(
+                    FaultEvent(crash_at + downtime, FaultAction.RECOVER, f"shard:{shard}")
+                )
+        return cls(events=events, name=f"rolling-crashes/{len(shards)}-shards")
+
+    @classmethod
+    def replica_partition(
+        cls, shard: int = 0, replica_index: int = 1, at: float = 20.0, heal_at: float = 40.0
+    ) -> "FaultPlan":
+        """Partition one replica off its primary's log stream, then heal."""
+        if heal_at <= at:
+            raise ConfigurationError("heal_at must come after the partition")
+        primary = f"shard:{shard}"
+        replica = f"s{shard}:n{replica_index}"
+        return cls(
+            events=[
+                FaultEvent(at, FaultAction.PARTITION, primary, peer=replica),
+                FaultEvent(heal_at, FaultAction.HEAL, primary, peer=replica),
+            ],
+            name=f"replica-partition/shard={shard}",
+        )
+
+    @classmethod
+    def chaos(
+        cls,
+        duration: float,
+        seed: int = 7,
+        mean_interval: float = 20.0,
+        downtime: float = 5.0,
+        num_shards: int = 1,
+        replication_factor: int = 2,
+    ) -> "FaultPlan":
+        """Rate-based chaos: seeded exponential crash arrivals with recovery.
+
+        Crashes arrive as a Poisson process with the given mean interval and
+        alternate over shards and node indexes; every crash is followed by a
+        recovery after ``downtime`` seconds.  The schedule is drawn once from
+        a private seeded RNG, so a chaos run is exactly as reproducible as a
+        scripted one.
+        """
+        if duration <= 0 or mean_interval <= 0 or downtime <= 0:
+            raise ConfigurationError("duration, mean_interval and downtime must be positive")
+        rng = random.Random(seed)
+        events: List[FaultEvent] = []
+        time = 0.0
+        victim = 0
+        while True:
+            time += rng.expovariate(1.0 / mean_interval)
+            if time >= duration:
+                break
+            shard = victim % num_shards
+            node_index = (victim // num_shards) % replication_factor
+            target = f"s{shard}:n{node_index}"
+            events.append(FaultEvent(time, FaultAction.CRASH, target))
+            recover_at = time + downtime
+            if recover_at < duration:
+                events.append(FaultEvent(recover_at, FaultAction.RECOVER, target))
+            victim += 1
+        return cls(events=events, name=f"chaos/seed={seed}")

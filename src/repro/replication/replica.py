@@ -1,0 +1,195 @@
+"""A replica node: a full database copy fed by asynchronous log shipping.
+
+A :class:`ReplicaNode` owns a real :class:`~repro.db.Database` (not a
+flattened key/value mirror), for one reason: on failover the node is promoted
+to primary, and a promoted node must be able to carry a complete
+:class:`~repro.core.QuaestorServer` -- query execution, secondary indexes,
+version sequences, change stream for future writes -- without a rebuild.
+Applying the shipped log as real collection operations keeps every document
+version in lock-step with the primary (the same ordered mutation sequence
+produces the same version numbers), which is what makes ETags and the
+client-side version-keyed caches agree across primary and replica reads.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.clock import Clock
+from repro.db.changestream import OperationType
+from repro.db.database import Database
+from repro.db.documents import deep_copy
+from repro.errors import CacheCoherenceError, DocumentNotFoundError
+from repro.replication.log_shipping import LogRecord, ReplicationLink
+
+
+class ReplicaNode:
+    """One member of a replica group (primary or secondary).
+
+    The node tracks an *apply watermark*: the timestamp (and change-stream
+    sequence) of the last log record it applied.  The watermark is what
+    causal reads are gated on -- a replica may serve a causal session only
+    when its watermark has caught up to the session's frontier -- and what
+    failover uses to pick the freshest promotion candidate.
+    """
+
+    def __init__(self, node_id: str, clock: Clock, database: Optional[Database] = None) -> None:
+        self.node_id = node_id
+        self._clock = clock
+        self.database = database if database is not None else Database(clock=clock)
+        self.link = ReplicationLink()
+        self.alive = True
+        #: Promotion epoch this node's log position belongs to.  Sequence
+        #: numbers are only comparable within one epoch (every promotion
+        #: starts a new change stream); the group stamps this on every
+        #: seed/realign, and failover prefers current-epoch candidates.
+        self.epoch = 0
+        #: Whether an *empty* link proves this node has received everything
+        #: acknowledged.  True only while the node has been continuously
+        #: alive since its last seed: a crashed node receives no ship
+        #: fan-out, so after a crash an empty link proves nothing until the
+        #: next snapshot resync restores the invariant.
+        self.link_sound = True
+        #: Change-stream sequence of the last applied record (0 = nothing).
+        self.applied_sequence = 0
+        #: Primary-side commit timestamp of the last applied record.
+        self.applied_timestamp = 0.0
+        self.records_applied = 0
+
+    # -- bootstrap / resync -----------------------------------------------------------
+
+    def seed_from(self, source: Database, upto_sequence: int = 0, upto_timestamp: float = 0.0) -> None:
+        """Snapshot resync: rebuild this node's database from ``source``.
+
+        Every collection is recreated with the same secondary indexes and the
+        same version floors, and each live document is inserted so it lands at
+        exactly its source version (``restore_version_floors`` primes the
+        insert to continue the sequence).  A floor *above* a live version
+        (failover protection against re-issuing a deposed primary's numbers)
+        is carried over after the snapshot inserts, so the protection
+        survives resyncs.  Used at group construction, when a crashed node
+        rejoins, and to realign surviving replicas after a promotion (their
+        logs may have diverged from the new primary's).
+        """
+        self.database = Database(clock=self._clock)
+        self.link = ReplicationLink()
+        for name in source.collection_names():
+            source_collection = source.collection(name)
+            replica_collection = self.database.create_collection(name)
+            for field in source_collection.indexed_fields():
+                replica_collection.create_index(field)
+            floors = source_collection.version_floors()
+            live_versions = {
+                document_id: source_collection.version(document_id)
+                for document_id in source_collection.ids()
+            }
+            # Prime floors one below the live version so the snapshot insert
+            # assigns exactly the source version; tombstoned ids keep their
+            # final version so later re-inserts continue the sequence.
+            primed = {
+                document_id: live_versions[document_id] - 1
+                if document_id in live_versions
+                else floor
+                for document_id, floor in floors.items()
+            }
+            replica_collection.restore_version_floors(primed)
+            for document_id in source_collection.ids():
+                replica_collection.insert(source_collection.get(document_id))
+                applied = replica_collection.version(document_id)
+                expected = live_versions[document_id]
+                if applied != expected:
+                    raise CacheCoherenceError(
+                        f"snapshot resync of {self.node_id} produced version {applied} "
+                        f"for {name}/{document_id}, primary has {expected}"
+                    )
+            # Re-apply floors that exceed the live version (consumed or
+            # bypassed by the inserts above): only-raise semantics keep the
+            # rest untouched.
+            replica_collection.restore_version_floors(
+                {
+                    document_id: floor
+                    for document_id, floor in floors.items()
+                    if floor > live_versions.get(document_id, 0)
+                }
+            )
+        self.applied_sequence = upto_sequence
+        self.applied_timestamp = upto_timestamp
+        self.link_sound = True
+
+    # -- log delivery -----------------------------------------------------------------
+
+    def deliver_until(self, now: float) -> int:
+        """Apply every shipped record whose delivery time has passed."""
+        applied = 0
+        for record in self.link.take_ready(now):
+            self._apply(record)
+            applied += 1
+        return applied
+
+    def _apply(self, record: LogRecord) -> None:
+        event = record.event
+        collection = self.database.create_collection(event.collection)
+        if event.operation is OperationType.INSERT:
+            collection.insert(deep_copy(event.after))
+        elif event.operation is OperationType.UPDATE:
+            collection.replace(event.document_id, deep_copy(event.after))
+        else:  # DELETE
+            try:
+                collection.delete(event.document_id)
+            except DocumentNotFoundError:
+                raise CacheCoherenceError(
+                    f"replica {self.node_id} applied a delete for missing "
+                    f"{event.collection}/{event.document_id} (log gap)"
+                )
+        if event.operation is not OperationType.DELETE:
+            applied_version = collection.version(event.document_id)
+            if record.version and applied_version != record.version:
+                raise CacheCoherenceError(
+                    f"replica {self.node_id} diverged on {event.collection}/"
+                    f"{event.document_id}: applied version {applied_version}, "
+                    f"primary shipped {record.version}"
+                )
+        self.applied_sequence = event.sequence
+        self.applied_timestamp = event.timestamp
+        self.records_applied += 1
+
+    # -- introspection ----------------------------------------------------------------
+
+    @property
+    def lag_records(self) -> int:
+        """Shipped-but-unapplied records (current replication backlog)."""
+        return len(self.link)
+
+    def staleness_at(self, now: float) -> float:
+        """Age of the oldest unapplied write (0.0 when fully caught up).
+
+        The observable bound on how far behind this replica's served state
+        can be; Delta-atomic read routing excludes replicas whose staleness
+        exceeds the configured budget.
+        """
+        oldest = self.link.oldest_pending_timestamp()
+        return max(0.0, now - oldest) if oldest is not None else 0.0
+
+    def caught_up_to(self, timestamp: Optional[float]) -> bool:
+        """Whether this node has applied everything up to ``timestamp``.
+
+        A ``None`` frontier (session never observed a primary state) is
+        trivially satisfied.  A node is caught up when its watermark has
+        passed the frontier, or when its backlog is empty *and* the link is
+        sound -- shipping is synchronous with writes, so an empty link on a
+        continuously-alive node means nothing acknowledged is outstanding.
+        A node that rejoined after a crash without a resync has an empty
+        link that proves nothing (``link_sound`` is False), so only its
+        watermark counts.
+        """
+        if timestamp is None:
+            return True
+        if self.applied_timestamp >= timestamp:
+            return True
+        return self.link_sound and len(self.link) == 0
+
+    def __repr__(self) -> str:
+        return (
+            f"ReplicaNode(id={self.node_id!r}, alive={self.alive}, "
+            f"applied_seq={self.applied_sequence}, backlog={self.lag_records})"
+        )

@@ -19,6 +19,7 @@ class StatusCode(int, enum.Enum):
     NOT_FOUND = 404
     CONFLICT = 409
     PRECONDITION_FAILED = 412
+    SERVICE_UNAVAILABLE = 503
 
 
 @dataclass(slots=True)

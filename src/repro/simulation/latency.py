@@ -73,6 +73,11 @@ class NetworkTopology:
     write_processing: LatencyModel = field(default_factory=lambda: LatencyModel(0.008, jitter=0.002))
     #: Delay between a write being acknowledged and CDN purges taking effect.
     invalidation_delay: LatencyModel = field(default_factory=lambda: LatencyModel(0.050, jitter=0.010))
+    #: Asynchronous log-shipping delay between a primary acknowledging a
+    #: write and the entry becoming visible on a replica (intra-region).
+    replication_lag: LatencyModel = field(
+        default_factory=lambda: LatencyModel(0.020, jitter=0.005, minimum=0.001)
+    )
 
     def read_latency(self, level: str) -> float:
         """Latency of a read/query answered at ``level`` (client/cdn/origin)."""
@@ -89,7 +94,12 @@ class NetworkTopology:
         return self.origin_round_trip.sample() + self.write_processing.sample()
 
     def reseed(self, seed: int) -> None:
-        """Reseed all jitter streams deterministically."""
+        """Reseed all jitter streams deterministically.
+
+        ``replication_lag`` comes last so the derived seeds of the
+        pre-replication streams are unchanged (seeded experiments from before
+        the replication layer reproduce value-identically).
+        """
         for offset, model in enumerate(
             (
                 self.client_cache_hit,
@@ -98,6 +108,7 @@ class NetworkTopology:
                 self.server_processing,
                 self.write_processing,
                 self.invalidation_delay,
+                self.replication_lag,
             )
         ):
             model.reseed(seed + offset)
@@ -112,4 +123,5 @@ class NetworkTopology:
             server_processing=LatencyModel(0.005),
             write_processing=LatencyModel(0.008),
             invalidation_delay=LatencyModel(0.050),
+            replication_lag=LatencyModel(0.020),
         )

@@ -21,12 +21,12 @@ import enum
 import random
 from dataclasses import dataclass, field
 from functools import partial
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro import perf
 from repro.caching.invalidation import InvalidationCache
 from repro.clock import VirtualClock
-from repro.client.sdk import QuaestorClient, SESSION_LEVEL
+from repro.client.sdk import ERROR_LEVEL, QuaestorClient, SESSION_LEVEL
 from repro.core.config import QuaestorConfig
 from repro.core.server import QuaestorServer
 from repro.db.database import Database
@@ -40,6 +40,9 @@ from repro.simulation.staleness import StalenessAuditor
 from repro.workloads.dataset import Dataset, DatasetSpec, generate_dataset
 from repro.workloads.generator import WorkloadGenerator, WorkloadSpec
 from repro.workloads.operations import Operation, OperationType
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.faults.plan import FaultPlan
 
 
 class CachingMode(str, enum.Enum):
@@ -97,12 +100,30 @@ class SimulationConfig:
     #: behind the :class:`~repro.cluster.ClusterClient` facade.
     num_shards: int = 1
     audit_staleness: bool = True
+    #: Copies of every shard (primary included).  Values above one wrap each
+    #: shard in a :class:`~repro.replication.ReplicaGroup`: replica reads for
+    #: Delta-atomic/causal sessions scale the origin out, and the shard
+    #: survives a primary crash by promoting its freshest replica.  ``1``
+    #: keeps the replication layer a strict no-op (seeded results are
+    #: value-identical to a deployment without it).
+    replication_factor: int = 1
+    #: Optional seeded failure schedule (:class:`repro.faults.FaultPlan`);
+    #: its crash/recover/partition events are injected into the event queue
+    #: so any scenario replays deterministically under failures.
+    fault_plan: Optional["FaultPlan"] = None
+    #: Seconds between a primary crash and the promotion of a replica
+    #: (failure detection + election).
+    failover_detection_delay: float = 0.5
 
     def __post_init__(self) -> None:
         if self.num_clients <= 0 or self.connections_per_client <= 0:
             raise ConfigurationError("client and connection counts must be positive")
         if self.num_shards <= 0:
             raise ConfigurationError("num_shards must be positive")
+        if self.replication_factor < 1:
+            raise ConfigurationError("replication_factor must be at least 1")
+        if self.failover_detection_delay < 0:
+            raise ConfigurationError("failover_detection_delay must be non-negative")
         if self.duration <= 0:
             raise ConfigurationError("duration must be positive")
         if not 0.0 <= self.warmup_fraction < 1.0:
@@ -138,10 +159,19 @@ class SimulationResult:
     read_stale_rate: float
     cdn_stale_rate: float
     server_statistics: Dict[str, float]
+    #: Availability/replication metrics, present only when the run used a
+    #: replication factor above one or injected faults (so the summary of a
+    #: plain run is byte-identical to one from before the replication layer).
+    replication: Optional[Dict[str, float]] = None
 
     def summary(self) -> Dict[str, float]:
-        """Flat summary used by the benchmark reports."""
-        return {
+        """Flat summary used by the benchmark reports.
+
+        Replicated / fault-injected runs append their availability metrics
+        (request error rate, replica read share, failover counts and
+        time-to-recover, observed staleness bounds) to the flat summary.
+        """
+        summary = {
             "throughput": self.throughput,
             "mean_read_latency_ms": self.read_latency.mean * 1000.0,
             "mean_query_latency_ms": self.query_latency.mean * 1000.0,
@@ -152,6 +182,9 @@ class SimulationResult:
             "query_stale_rate": self.query_stale_rate,
             "read_stale_rate": self.read_stale_rate,
         }
+        if self.replication:
+            summary.update(self.replication)
+        return summary
 
 
 class Simulator:
@@ -170,12 +203,30 @@ class Simulator:
         if config.mode is CachingMode.UNCACHED:
             quaestor_config = QuaestorConfig.uncached()
         self.auditor = StalenessAuditor()
-        if config.num_shards > 1:
-            # Sharded deployment: the dataset is routed into per-shard
-            # databases before the shard servers subscribe, and the cluster
-            # facade stands in for the single server everywhere below.
+        #: Replication is "active" when it can change behaviour at all: a
+        #: replication factor above one, or faults to inject.  Only then does
+        #: the summary grow availability metrics.
+        self._replication_active = (
+            config.replication_factor > 1 or config.fault_plan is not None
+        )
+        if config.num_shards > 1 or self._replication_active:
+            # Sharded (or replicated) deployment: the dataset is routed into
+            # per-shard databases before the shard servers subscribe, and the
+            # cluster facade stands in for the single server everywhere below.
             from repro.cluster import ClusterClient, QuaestorCluster
 
+            replication = None
+            if self._replication_active:
+                from repro.replication import ReplicationConfig
+
+                # The lag stream was reseeded (with every other topology
+                # model) in reseed() above, so replicated runs are exactly
+                # as reproducible as plain ones.
+                replication = ReplicationConfig(
+                    replication_factor=config.replication_factor,
+                    lag=config.topology.replication_lag,
+                    failover_detection_delay=config.failover_detection_delay,
+                )
             self.cluster: Optional[QuaestorCluster] = QuaestorCluster(
                 num_shards=config.num_shards,
                 clock=self.clock,
@@ -183,6 +234,7 @@ class Simulator:
                 matching_nodes=config.matching_nodes,
                 auditor=self.auditor,
                 dataset=self.dataset,
+                replication=replication,
             )
             self.database: Optional[Database] = None
             self.server = ClusterClient(self.cluster)
@@ -197,6 +249,22 @@ class Simulator:
                 invalidb=InvaliDBCluster(matching_nodes=config.matching_nodes),
                 auditor=self.auditor,
             )
+
+        #: Fault injection: the plan's crash/recover/partition events enter
+        #: the same event queue as the workload, so failures interleave with
+        #: requests deterministically for a fixed seed.
+        self.fault_injector = None
+        if config.fault_plan is not None:
+            from repro.faults import FaultInjector
+
+            self.fault_injector = FaultInjector(
+                self.cluster,
+                self.events,
+                self.clock,
+                config.fault_plan,
+                detection_delay=config.failover_detection_delay,
+            )
+            self.fault_injector.arm()
 
         self.cdn: Optional[InvalidationCache] = None
         if config.mode.uses_cdn:
@@ -229,10 +297,13 @@ class Simulator:
         self._op_chunk = min(512, config.max_operations)
 
         # --- capacity limits (token spacing per client instance and origin). ---
-        # Each shard is an independent origin server with its own capacity;
-        # the single-server deployment is the one-shard special case.
+        # Every *node* is an independent origin server with its own capacity:
+        # one slot per shard primary, plus one per replica when replication is
+        # on (replica reads consume the replica's capacity -- that is the read
+        # scale-out).  Slots are keyed by node id and created on first use;
+        # the single-server deployment uses the one token ``0``.
         self._client_next_slot = [0.0] * config.num_clients
-        self._origin_next_slot = [0.0] * config.num_shards
+        self._origin_next_slot: Dict[object, float] = {}
         self._extra_fetch_rr = 0
 
         # --- metrics. ---
@@ -380,64 +451,91 @@ class Simulator:
             latency = self._read_path_latency(result.level, result.key)
             return latency, "read", result.key, result.etag, result.level
 
-        # Writes always travel to the origin (the owning shard) and pay its
-        # capacity constraint.
-        shard_index = self._shard_index_for_write(operation)
+        # Writes always travel to the origin (the owning shard's primary) and
+        # pay its capacity constraint.
+        write_token = self._write_token(operation)
         if operation.type == OperationType.UPDATE:
             result = client.update(operation.collection, operation.document_id, operation.payload)
         elif operation.type == OperationType.INSERT:
             result = client.insert(operation.collection, operation.payload)
         else:
             result = client.delete(operation.collection, operation.document_id)
-        latency = topology.write_latency() + self._origin_wait(shard_index)
+        if result.level == ERROR_LEVEL:
+            # The primary is down: the write failed after a wide-area round
+            # trip and consumed no origin capacity.
+            return topology.write_latency(), "write", result.key, None, ERROR_LEVEL
+        latency = topology.write_latency() + self._origin_wait(write_token)
         return latency, "write", result.key, None, "origin"
 
     def _read_path_latency(self, level: str, key: Optional[str]) -> float:
         """Latency of a read/query answered at ``level`` plus origin queueing."""
         if level == SESSION_LEVEL:
             return 0.0
+        if level == ERROR_LEVEL:
+            # A failed request still pays the round trip that discovered the
+            # outage, but no server processed it.
+            return self.config.topology.origin_round_trip.sample()
         latency = self.config.topology.read_latency(level)
         if level == "origin":
             latency += self._origin_wait_for_key(key)
         return latency
 
-    def _shard_index_for_write(self, operation: Operation) -> int:
-        """The shard whose origin capacity a write consumes.
+    def _write_token(self, operation: Operation) -> object:
+        """The origin node whose capacity a write consumes.
 
         Delegates to the router's operation placement so capacity accounting
         always matches where the cluster actually lands the write (inserts
-        route by the payload's ``_id``).
+        route by the payload's ``_id``); writes always hit the shard's
+        *current* primary, including a freshly promoted one.
         """
         if self.cluster is None:
             return 0
-        return self.cluster.router.shard_for_operation(operation)
+        shard_id = self.cluster.router.shard_for_operation(operation)
+        return self.cluster.groups[shard_id].primary_node_id
 
     def _origin_wait_for_key(self, key: Optional[str]) -> float:
         """Origin queueing for one request, routed by its cache key.
 
-        Record keys queue at their owning shard; query keys scatter over every
-        shard in parallel (the fan-out completes when the slowest shard
-        answers, but each shard's capacity is consumed).  Per-record fetches
-        assembling an id-list result carry no key here and are spread
-        round-robin, which matches their uniform hash placement in
-        expectation.
+        Record keys queue at the node that actually served them (the shard's
+        primary, or the replica the group's routing picked -- replica reads
+        spreading over more nodes is exactly the read scale-out replication
+        buys).  Query keys scatter over every live primary in parallel (the
+        fan-out completes when the slowest shard answers, but each shard's
+        capacity is consumed).  Per-record fetches assembling an id-list
+        result carry no key here and are spread round-robin, which matches
+        their uniform hash placement in expectation.
         """
         if self.cluster is None:
             return self._origin_wait(0)
+        groups = self.cluster.groups
         if key is None:
-            self._extra_fetch_rr = (self._extra_fetch_rr + 1) % self.config.num_shards
-            return self._origin_wait(self._extra_fetch_rr)
+            self._extra_fetch_rr += 1
+            group = groups[self._extra_fetch_rr % self.config.num_shards]
+            # Spread anonymous member fetches over the nodes the group's
+            # read rotation actually uses (primary + live replicas), so
+            # replica capacity is modelled for id-list workloads too.  The
+            # node index divides the counter by the shard count so the two
+            # rotations are decorrelated (with a shared factor, shard and
+            # node index would otherwise lock step and starve some nodes).
+            serving = group.serving_node_ids()
+            node_index = (self._extra_fetch_rr // self.config.num_shards) % len(serving)
+            return self._origin_wait(serving[node_index])
         if key.startswith("record:"):
-            return self._origin_wait(self.cluster.router.shard_for_key(key))
-        return max(self._origin_wait(index) for index in range(self.config.num_shards))
+            shard_id = self.cluster.router.shard_for_key(key)
+            return self._origin_wait(groups[shard_id].last_served_node_id)
+        waits = [
+            self._origin_wait(group.primary_node_id)
+            for group in groups
+            if group.primary_alive
+        ]
+        return max(waits) if waits else 0.0
 
-    def _origin_wait(self, shard_index: int) -> float:
-        """Queueing delay at one origin shard: requests spaced by its capacity."""
+    def _origin_wait(self, token: object) -> float:
+        """Queueing delay at one origin node: requests spaced by its capacity."""
         now = self.clock.now()
-        wait = max(0.0, self._origin_next_slot[shard_index] - now)
-        self._origin_next_slot[shard_index] = (
-            max(now, self._origin_next_slot[shard_index]) + 1.0 / self.config.origin_capacity
-        )
+        slot = self._origin_next_slot.get(token, 0.0)
+        wait = max(0.0, slot - now)
+        self._origin_next_slot[token] = max(now, slot) + 1.0 / self.config.origin_capacity
         return wait
 
     def _record_metrics(self, op_class: str, latency: float) -> None:
@@ -475,6 +573,26 @@ class Simulator:
             # came from the CDN-backed levels.
             cdn_stale_rate = stale_rate("query")
 
+        server_statistics = self.server.statistics()
+        replication: Optional[Dict[str, float]] = None
+        if self._replication_active:
+            errors = sum(
+                counter.get(ERROR_LEVEL) for counter in self.level_counts.values()
+            )
+            replication = {
+                "request_error_rate": (
+                    errors / self._measured_operations if self._measured_operations else 0.0
+                ),
+                "replica_read_share": float(
+                    server_statistics.get("replica_read_share", 0.0)
+                ),
+                "failovers": float(server_statistics.get("cluster_failovers", 0.0)),
+                "max_staleness_s": self.auditor.max_staleness,
+                "mean_staleness_s": self.auditor.mean_staleness,
+            }
+            if self.fault_injector is not None:
+                replication.update(self.fault_injector.summary())
+
         return SimulationResult(
             mode=self.config.mode,
             connections=self.config.total_connections,
@@ -492,7 +610,8 @@ class Simulator:
             query_stale_rate=stale_rate("query"),
             read_stale_rate=stale_rate("read"),
             cdn_stale_rate=cdn_stale_rate,
-            server_statistics=self.server.statistics(),
+            server_statistics=server_statistics,
+            replication=replication,
         )
 
 

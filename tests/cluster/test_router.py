@@ -164,3 +164,60 @@ class TestOperationRouting:
         for index in range(120):
             router.record_write("posts", f"doc-{index}")
         assert router.imbalance() == router._statistics.imbalance(router.shard_ids())
+
+
+class TestRuntimeMembership:
+    """Runtime shard removal and re-addition at the *router* level.
+
+    Failover (repro.replication) and elastic scaling both need the router to
+    take a shard out of rotation and bring it back while requests are in
+    flight; the regression asserted here is that only the departed shard's
+    key ranges ever move.
+    """
+
+    def test_remove_and_readd_moves_only_the_departed_shards_ranges(self):
+        router = ShardRouter(num_shards=8)
+        sample = keys(5_000)
+        before = {key: router.shard_for_key(key) for key in sample}
+
+        router.remove_shard(5)
+        during = {key: router.shard_for_key(key) for key in sample}
+        for key in sample:
+            if before[key] != 5:
+                assert during[key] == before[key], "only shard 5's keys may move"
+            else:
+                assert during[key] != 5
+
+        router.add_shard(5)
+        after = {key: router.shard_for_key(key) for key in sample}
+        # Virtual-node positions are a pure hash of (shard, replica), so a
+        # re-added shard reclaims exactly its old ranges: full round trip.
+        assert after == before
+
+    def test_membership_changes_are_reflected_in_shard_ids(self):
+        router = ShardRouter(num_shards=4)
+        assert router.shard_ids() == [0, 1, 2, 3]
+        router.remove_shard(2)
+        assert router.shard_ids() == [0, 1, 3]
+        assert router.num_shards == 3
+        router.add_shard(2)
+        assert router.shard_ids() == [0, 1, 2, 3]
+
+    def test_routing_statistics_survive_other_shards_departure(self):
+        router = ShardRouter(num_shards=3)
+        # Route traffic, then remove an unrelated shard: surviving counters
+        # must be untouched (imbalance stays well-defined).
+        for index in range(300):
+            router.record_read("posts", f"doc-{index}")
+        totals_before = {
+            stats.shard_id: stats.operations for stats in router.statistics()
+        }
+        victim = 0
+        router.remove_shard(victim)
+        for stats in router.statistics():
+            assert stats.operations == totals_before[stats.shard_id]
+
+    def test_add_shard_is_idempotent(self):
+        router = ShardRouter(num_shards=2)
+        router.add_shard(1)  # already present: no-op
+        assert router.shard_ids() == [0, 1]

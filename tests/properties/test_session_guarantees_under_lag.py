@@ -1,0 +1,167 @@
+"""Session guarantees under replication lag (property-based, seeded).
+
+The SDK promises read-your-writes and monotonic reads *per session*
+regardless of which node serves the read (Section 3.2 of the paper: own
+writes and highest seen versions are cached client-side).  Replication adds
+the adversary these guarantees exist for: a replica that is an arbitrary
+amount behind the primary.  These properties drive random operation
+sequences with random lag against a replicated cluster and assert the
+session-level invariants hold on every interleaving, plus the server-side
+watermark gating that causal reads rely on.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.clock import VirtualClock
+from repro.cluster import ClusterClient, QuaestorCluster
+from repro.client import QuaestorClient
+from repro.core import ConsistencyLevel, QuaestorConfig, QuaestorServer
+from repro.db import Database
+from repro.invalidb import InvaliDBCluster
+from repro.replication import ReplicaGroup, ReplicationConfig
+from repro.simulation.latency import LatencyModel
+
+KEYS = ["k0", "k1", "k2"]
+
+operation_sequences = st.lists(
+    st.tuples(
+        st.sampled_from(KEYS),
+        st.sampled_from(["read", "write"]),
+        st.floats(min_value=0.0, max_value=0.2),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+def build_replicated_client(lag_mean: float, consistency: ConsistencyLevel):
+    clock = VirtualClock()
+    cluster = QuaestorCluster(
+        num_shards=1,
+        clock=clock,
+        matching_nodes=1,
+        replication=ReplicationConfig(
+            replication_factor=2, lag=LatencyModel(mean=lag_mean, jitter=0.0)
+        ),
+    )
+    facade = ClusterClient(cluster)
+    for key in KEYS:
+        facade.handle_insert("posts", {"_id": key, "views": 0})
+    clock.advance(1.0)
+    client = QuaestorClient(
+        facade, clock=clock, refresh_interval=0.5, consistency=consistency
+    )
+    client.connect()
+    return clock, cluster, client
+
+
+class TestSessionGuaranteesUnderLag:
+    @given(ops=operation_sequences, lag=st.floats(min_value=0.0, max_value=0.5))
+    @settings(max_examples=25, deadline=None)
+    def test_read_your_writes_and_monotonic_reads_delta_atomic(self, ops, lag):
+        clock, _cluster, client = build_replicated_client(lag, ConsistencyLevel.DELTA_ATOMIC)
+        highest_seen = {key: 0 for key in KEYS}
+        own_written = {}
+        for key, action, advance in ops:
+            clock.advance(advance)
+            if action == "write":
+                result = client.update("posts", key, {"$inc": {"views": 1}})
+                assert result.version is not None
+                own_written[key] = result.version
+                highest_seen[key] = max(highest_seen[key], result.version)
+            else:
+                result = client.read("posts", key)
+                assert result.value is not None, "pre-inserted keys never vanish"
+                version = result.version if result.version is not None else 0
+                # Monotonic reads: the session never observes a version older
+                # than one it has already seen, however stale the replica.
+                assert version >= highest_seen[key]
+                # Read-your-writes: the session's own writes are visible.
+                if key in own_written:
+                    assert version >= own_written[key]
+                highest_seen[key] = max(highest_seen[key], version)
+
+    @given(
+        lag=st.floats(min_value=0.01, max_value=1.0),
+        advance=st.floats(min_value=0.0, max_value=0.5),
+        reads=st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_own_insert_is_visible_despite_replica_lag(self, lag, advance, reads):
+        # Regression: a lagging replica that has not applied the session's
+        # own insert yet must not surface a 404 -- the group falls back to
+        # the primary, so the acknowledged document is always readable.
+        clock, _cluster, client = build_replicated_client(lag, ConsistencyLevel.DELTA_ATOMIC)
+        result = client.insert("posts", {"_id": "fresh", "views": 1})
+        assert result.version is not None
+        clock.advance(advance)
+        for _ in range(reads):  # round-robin over primary and replica
+            read = client.read("posts", "fresh")
+            assert read.value is not None, "own acknowledged insert vanished"
+            assert read.value["views"] == 1
+
+    @given(ops=operation_sequences, lag=st.floats(min_value=0.0, max_value=0.5))
+    @settings(max_examples=15, deadline=None)
+    def test_guarantees_also_hold_for_causal_sessions(self, ops, lag):
+        clock, _cluster, client = build_replicated_client(lag, ConsistencyLevel.CAUSAL)
+        highest_seen = {key: 0 for key in KEYS}
+        for key, action, advance in ops:
+            clock.advance(advance)
+            if action == "write":
+                result = client.update("posts", key, {"$inc": {"views": 1}})
+                highest_seen[key] = max(highest_seen[key], result.version or 0)
+            else:
+                result = client.read("posts", key)
+                version = result.version if result.version is not None else 0
+                assert version >= highest_seen[key]
+                highest_seen[key] = max(highest_seen[key], version)
+
+
+class TestCausalWatermarkGating:
+    """Server-side gating: a causal read never serves state older than its
+    frontier, independent of any client-side session fallback."""
+
+    @given(
+        num_writes=st.integers(min_value=1, max_value=10),
+        frontier_index=st.integers(min_value=0, max_value=9),
+        lag=st.floats(min_value=0.01, max_value=2.0),
+        reads=st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_causal_read_respects_the_frontier(self, num_writes, frontier_index, lag, reads):
+        clock = VirtualClock()
+        database = Database(clock=clock)
+        database.create_collection("posts").insert({"_id": "doc", "views": 0})
+        config = QuaestorConfig()
+        server = QuaestorServer(database, config=config, invalidb=InvaliDBCluster())
+
+        def factory(new_database, ebf, ttl_estimator):
+            return QuaestorServer(
+                new_database, config=config, invalidb=InvaliDBCluster(),
+                ebf=ebf, ttl_estimator=ttl_estimator,
+            )
+
+        group = ReplicaGroup(
+            shard_id=0, database=database, server=server, server_factory=factory,
+            clock=clock,
+            config=ReplicationConfig(
+                replication_factor=2, lag=LatencyModel(mean=lag, jitter=0.0)
+            ),
+        )
+        write_log = []  # (timestamp, version) per acknowledged write
+        for _ in range(num_writes):
+            clock.advance(0.05)
+            database.update("posts", "doc", {"$inc": {"views": 1}})
+            write_log.append((clock.now(), database.collection("posts").version("doc")))
+
+        frontier_time, frontier_version = write_log[min(frontier_index, num_writes - 1)]
+        clock.advance(0.01)
+        for _ in range(reads):
+            response = group.read(
+                "posts", "doc",
+                consistency=ConsistencyLevel.CAUSAL,
+                min_timestamp=frontier_time,
+            )
+            assert response.body["version"] >= frontier_version

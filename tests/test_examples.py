@@ -18,6 +18,7 @@ FAST_EXAMPLES = [
     "quickstart.py",
     "blog_platform.py",
     "realtime_dashboard.py",
+    "failover_drill.py",
 ]
 
 
@@ -45,3 +46,14 @@ def test_dashboard_example_reports_live_changes(capsys):
     assert "[orders]" in output and "add" in output
     assert "awaiting shipment" in output
     assert "dashboard closed" in output
+
+
+def test_failover_drill_shows_the_availability_story(capsys):
+    runpy.run_path(str(EXAMPLES_DIR / "failover_drill.py"), run_name="__main__")
+    output = capsys.readouterr().out
+    # The scripted crash, the promotion and the rejoin all happen...
+    assert "crash" in output and "failover" in output and "recover" in output
+    assert "time to recover" in output
+    # ...and the dashboard table covers every phase of the drill.
+    for phase in ("healthy", "outage", "failed-over", "recovered"):
+        assert phase in output
