@@ -16,15 +16,19 @@
 #   make bench-replication-check - budget-mode run gated against the committed
 #                                  BENCH_replication.json (fails when the RF=3
 #                                  scale-out collapses or failover degrades)
+#   make bench-ttl       - TTL estimator bake-off grid; rewrites BENCH_ttl.json
+#   make bench-ttl-check - budget-mode run gated against the committed
+#                          BENCH_ttl.json (fails when the winner's quality
+#                          score collapses >3x; deterministic, seeded)
 #   make smoke-failover  - seeded crash+recover scenario must stay deterministic
 #   make docs-check      - fail if README.md or docs/ reference missing modules/files
 
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
 
-BENCH_FILES := $(filter-out benchmarks/bench_hotpaths.py benchmarks/bench_sim_throughput.py benchmarks/bench_replication.py,$(wildcard benchmarks/bench_*.py))
+BENCH_FILES := $(filter-out benchmarks/bench_hotpaths.py benchmarks/bench_sim_throughput.py benchmarks/bench_replication.py benchmarks/bench_ttl.py,$(wildcard benchmarks/bench_*.py))
 
-.PHONY: test bench-smoke bench bench-hotpaths bench-hotpaths-check bench-sim bench-sim-check bench-replication bench-replication-check smoke-failover docs-check
+.PHONY: test bench-smoke bench bench-hotpaths bench-hotpaths-check bench-sim bench-sim-check bench-replication bench-replication-check bench-ttl bench-ttl-check smoke-failover docs-check
 
 test:
 	$(PYTEST) -x -q
@@ -52,6 +56,12 @@ bench-replication:
 
 bench-replication-check:
 	$(PYTHON) benchmarks/bench_replication.py --budget --check BENCH_replication.json
+
+bench-ttl:
+	$(PYTHON) benchmarks/bench_ttl.py
+
+bench-ttl-check:
+	$(PYTHON) benchmarks/bench_ttl.py --budget --check BENCH_ttl.json
 
 smoke-failover:
 	$(PYTEST) tests/replication/test_failover_smoke.py -q

@@ -1,0 +1,167 @@
+#!/usr/bin/env python
+"""TTL estimator bake-off benchmark: the estimator grid behind ``BENCH_ttl.json``.
+
+Runs :func:`repro.ttl.bakeoff.run_bakeoff` -- every registered estimator
+family (:data:`repro.ttl.spec.ESTIMATOR_NAMES`) under the stationary,
+drifting and bursty write processes -- and writes the per-cell metrics
+(stale-read rate, cache hit rate, invalidation cost, EBF pressure) plus the
+quality-score ranking to ``BENCH_ttl.json``.
+
+The committed report doubles as the CI baseline.  The full run embeds a
+``budget_reference`` grid computed at CI scale, so the gate compares
+like-for-like: the simulator is fully deterministic (virtual clock, seeded
+RNGs), which makes the budget grid reproducible on any machine regardless of
+runner speed.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_ttl.py              # full run
+    PYTHONPATH=src python benchmarks/bench_ttl.py --budget     # CI-sized
+    PYTHONPATH=src python benchmarks/bench_ttl.py --budget \\
+        --check BENCH_ttl.json                                 # regression gate
+
+``--check`` fails (exit 1) when the committed winner's quality score --
+``cache_hit_rate * (1 - stale_rate)``, the probability a request was served
+from cache *and* fresh -- collapsed by more than the allowed factor (default
+3x), or when no comparison is possible.  A changed ranking alone is reported
+as a warning: it means an estimator was retuned and ``BENCH_ttl.json``
+should be regenerated with a full run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import sys
+from typing import Dict, List, Optional
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.ttl.bakeoff import DEFAULT_OPERATIONS, DEFAULT_SEED, run_bakeoff  # noqa: E402
+
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_ttl.json"
+SCHEMA = "quaestor-bench-ttl/1"
+#: CI gate: fail when the winner's quality score drops below committed/FACTOR.
+DEFAULT_REGRESSION_FACTOR = 3.0
+#: Operation budget of the CI-sized grid (and of ``budget_reference``).
+BUDGET_OPERATIONS = 1_500
+
+
+def run(budget: bool) -> Dict[str, object]:
+    """Run the grid; a full run also embeds the CI-scale reference grid."""
+    max_operations = BUDGET_OPERATIONS if budget else DEFAULT_OPERATIONS
+    report_body = run_bakeoff(max_operations=max_operations, seed=DEFAULT_SEED)
+    report: Dict[str, object] = {
+        "schema": SCHEMA,
+        "generated_by": "benchmarks/bench_ttl.py",
+        "budget_mode": budget,
+        "python": platform.python_version(),
+        "score": "quality_score = cache_hit_rate * (1 - stale_rate), mean over scenarios",
+        **report_body,
+    }
+    if not budget:
+        # The deterministic CI reference: same grid at CI scale, so the gate
+        # compares budget-vs-budget on any machine.
+        report["budget_reference"] = run_bakeoff(
+            max_operations=BUDGET_OPERATIONS, seed=DEFAULT_SEED
+        )
+    return report
+
+
+def _reference_grid(committed: Dict[str, object], budget: bool) -> Optional[Dict[str, object]]:
+    """The committed grid comparable to the current run's scale."""
+    if budget:
+        if committed.get("budget_mode"):
+            return committed  # committed report itself is budget-sized
+        reference = committed.get("budget_reference")
+        return reference if isinstance(reference, dict) else None
+    return None if committed.get("budget_mode") else committed
+
+
+def check(report: Dict[str, object], baseline_path: pathlib.Path, factor: float) -> int:
+    """Gate on the committed winner's quality score (and report ranking drift)."""
+    committed = json.loads(baseline_path.read_text(encoding="utf-8"))
+    reference = _reference_grid(committed, bool(report["budget_mode"]))
+    if reference is None:
+        print(
+            "FAIL: committed report has no grid at the current run's scale "
+            "(regenerate BENCH_ttl.json with a full run)"
+        )
+        return 1
+
+    committed_winner = reference["winner"]["estimator"]
+    committed_score = reference["winner"]["quality_score"]
+    current_scores = {
+        entry["estimator"]: entry["mean_quality_score"] for entry in report["ranking"]
+    }
+    if committed_winner not in current_scores:
+        print(f"FAIL: committed winner {committed_winner!r} is no longer in the sweep")
+        return 1
+
+    current_score = current_scores[committed_winner]
+    floor = committed_score / factor
+    current_winner = report["winner"]["estimator"]
+    if current_winner != committed_winner:
+        print(
+            f"WARNING: ranking shifted -- current winner is {current_winner!r}, "
+            f"committed winner was {committed_winner!r}; regenerate BENCH_ttl.json"
+        )
+    status = "ok" if current_score >= floor else "REGRESSION"
+    print(
+        f"  winner {committed_winner:<16} current score {current_score:.4f}  "
+        f"committed {committed_score:.4f}  floor {floor:.4f}  {status}"
+    )
+    if current_score < floor:
+        print(f"FAIL: winner quality score collapsed >{factor:g}x vs the committed baseline")
+        return 1
+    print(f"OK: winner quality score within {factor:g}x of the committed baseline")
+    return 0
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--budget", action="store_true", help="CI-sized run (fewer operations per cell)"
+    )
+    parser.add_argument(
+        "--output",
+        type=pathlib.Path,
+        default=DEFAULT_OUTPUT,
+        help=f"where to write the JSON report (default: {DEFAULT_OUTPUT})",
+    )
+    parser.add_argument(
+        "--no-write", action="store_true", help="measure and print without writing the file"
+    )
+    parser.add_argument(
+        "--check",
+        type=pathlib.Path,
+        metavar="BASELINE",
+        help="compare against a committed report; exit 1 on >--factor regression",
+    )
+    parser.add_argument(
+        "--factor",
+        type=float,
+        default=DEFAULT_REGRESSION_FACTOR,
+        help=f"allowed regression factor for --check (default {DEFAULT_REGRESSION_FACTOR:g})",
+    )
+    args = parser.parse_args(argv)
+
+    report = run(args.budget)
+    print(json.dumps(report, indent=2))
+
+    if args.check is not None:
+        # Gate runs never overwrite the committed baseline they compare against.
+        print(f"\nRegression check against {args.check}:")
+        return check(report, args.check, args.factor)
+
+    if not args.no_write:
+        args.output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+        print(f"\nwrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

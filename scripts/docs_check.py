@@ -48,6 +48,7 @@ REQUIRED_MODULES = (
     "repro.replication",
     "repro.simulation",
     "repro.ttl",
+    "repro.ttl.bakeoff",
     "repro.workloads",
 )
 

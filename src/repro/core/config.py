@@ -8,7 +8,8 @@ from typing import Optional
 from repro.bloom.hashing import DEFAULT_SCHEME, WIRE_VERSION_BY_SCHEME
 from repro.bloom.sizing import PAPER_DEFAULT_BITS
 from repro.errors import ConfigurationError
-from repro.ttl.base import TTLBounds
+from repro.ttl.base import TTLBounds, TTLEstimator
+from repro.ttl.spec import TTLEstimatorSpec
 
 
 @dataclass
@@ -30,6 +31,11 @@ class QuaestorConfig:
     ebf_hash_scheme: str = DEFAULT_SCHEME
 
     # -- TTL estimation --------------------------------------------------------------
+    #: Which TTL estimator family serves this deployment, selected by name
+    #: from the :mod:`repro.ttl.spec` registry.  The default is the bake-off
+    #: winner (``BENCH_ttl.json``); :meth:`TTLEstimatorSpec.legacy` restores
+    #: the exact pre-bake-off estimator for pinned legacy results.
+    ttl_estimator: TTLEstimatorSpec = field(default_factory=TTLEstimatorSpec)
     ttl_quantile: float = 0.5
     ewma_alpha: float = 0.7
     ttl_bounds: TTLBounds = field(default_factory=lambda: TTLBounds(minimum=1.0, maximum=600.0))
@@ -61,6 +67,8 @@ class QuaestorConfig:
                 f"unknown EBF hash scheme: {self.ebf_hash_scheme!r} "
                 f"(known: {sorted(WIRE_VERSION_BY_SCHEME)})"
             )
+        if not isinstance(self.ttl_estimator, TTLEstimatorSpec):
+            raise ConfigurationError("ttl_estimator must be a TTLEstimatorSpec")
         if not 0.0 < self.ttl_quantile < 1.0:
             raise ConfigurationError("ttl_quantile must lie strictly between 0 and 1")
         if not 0.0 <= self.ewma_alpha < 1.0:
@@ -71,6 +79,16 @@ class QuaestorConfig:
             raise ConfigurationError("object_list_max_size must be non-negative")
         if not 0.0 <= self.assumed_record_hit_rate <= 1.0:
             raise ConfigurationError("assumed_record_hit_rate must lie in [0, 1]")
+
+    # -- derived components ------------------------------------------------------------------
+
+    def build_ttl_estimator(self) -> TTLEstimator:
+        """Instantiate the configured TTL estimator (used by the server)."""
+        return self.ttl_estimator.build(
+            bounds=self.ttl_bounds,
+            ttl_quantile=self.ttl_quantile,
+            ewma_alpha=self.ewma_alpha,
+        )
 
     # -- convenience constructors ----------------------------------------------------------
 

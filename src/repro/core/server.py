@@ -71,7 +71,6 @@ from repro.metrics.counters import Counter
 from repro.rest.etags import etag_for_version
 from repro.rest.messages import Response, StatusCode
 from repro.ttl.base import TTLEstimator
-from repro.ttl.estimator import QuaestorTTLEstimator
 from repro.workloads.operations import Operation, dispatch_operation
 from repro.workloads.operations import OperationType as WorkloadOperationType
 
@@ -112,11 +111,7 @@ class QuaestorServer:
         self.ttl_estimator: TTLEstimator = (
             ttl_estimator
             if ttl_estimator is not None
-            else QuaestorTTLEstimator(
-                quantile=self.config.ttl_quantile,
-                alpha=self.config.ewma_alpha,
-                bounds=self.config.ttl_bounds,
-            )
+            else self.config.build_ttl_estimator()
         )
         self.invalidb = invalidb if invalidb is not None else InvaliDBCluster(matching_nodes=1)
         self.frontend = InvaliDBFrontend(self.invalidb)

@@ -19,9 +19,9 @@ from __future__ import annotations
 
 import enum
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from functools import partial
-from typing import TYPE_CHECKING, Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro import perf
 from repro.caching.invalidation import InvalidationCache
@@ -37,8 +37,9 @@ from repro.metrics.histogram import Histogram
 from repro.simulation.event_queue import EventQueue
 from repro.simulation.latency import NetworkTopology
 from repro.simulation.staleness import StalenessAuditor
+from repro.ttl.spec import TTLEstimatorSpec
 from repro.workloads.dataset import Dataset, DatasetSpec, generate_dataset
-from repro.workloads.generator import WorkloadGenerator, WorkloadSpec
+from repro.workloads.generator import PhasedWorkloadGenerator, WorkloadGenerator, WorkloadSpec
 from repro.workloads.operations import Operation, OperationType
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
@@ -114,6 +115,17 @@ class SimulationConfig:
     #: Seconds between a primary crash and the promotion of a replica
     #: (failure detection + election).
     failover_detection_delay: float = 0.5
+    #: Select a TTL estimator by name (:mod:`repro.ttl.spec` registry).  When
+    #: set, it overrides ``quaestor.ttl_estimator`` -- including for modes
+    #: that replace the Quaestor config (e.g. ``UNCACHED``) -- so a sweep can
+    #: swap estimators without touching the rest of the server config.
+    ttl_estimator: Optional[TTLEstimatorSpec] = None
+    #: Non-stationary workloads: ``(operations, spec)`` phases concatenated
+    #: by a :class:`~repro.workloads.PhasedWorkloadGenerator` (the final
+    #: phase is open-ended).  ``None`` keeps the single stationary
+    #: ``workload`` spec.  The TTL bake-off's drifting and bursty write
+    #: processes are built from this.
+    workload_phases: Optional[Tuple[Tuple[int, WorkloadSpec], ...]] = None
 
     def __post_init__(self) -> None:
         if self.num_clients <= 0 or self.connections_per_client <= 0:
@@ -132,6 +144,16 @@ class SimulationConfig:
             raise ConfigurationError("max_operations must be positive")
         if self.client_instance_capacity <= 0 or self.origin_capacity <= 0:
             raise ConfigurationError("capacities must be positive")
+        if self.ttl_estimator is not None and not isinstance(
+            self.ttl_estimator, TTLEstimatorSpec
+        ):
+            raise ConfigurationError("ttl_estimator must be a TTLEstimatorSpec")
+        if self.workload_phases is not None:
+            if not self.workload_phases:
+                raise ConfigurationError("workload_phases must contain at least one phase")
+            for operations, _spec in self.workload_phases:
+                if operations <= 0:
+                    raise ConfigurationError("every workload phase budget must be positive")
 
     @property
     def total_connections(self) -> int:
@@ -202,6 +224,9 @@ class Simulator:
         quaestor_config = config.quaestor
         if config.mode is CachingMode.UNCACHED:
             quaestor_config = QuaestorConfig.uncached()
+        if config.ttl_estimator is not None:
+            # Applied after any mode substitution so the knob always wins.
+            quaestor_config = replace(quaestor_config, ttl_estimator=config.ttl_estimator)
         self.auditor = StalenessAuditor()
         #: Replication is "active" when it can change behaviour at all: a
         #: replication factor above one, or faults to inject.  Only then does
@@ -287,7 +312,10 @@ class Simulator:
                 client.connect()
             self.clients.append(client)
 
-        self.workload = WorkloadGenerator(config.workload, self.dataset)
+        if config.workload_phases is not None:
+            self.workload = PhasedWorkloadGenerator(config.workload_phases, self.dataset)
+        else:
+            self.workload = WorkloadGenerator(config.workload, self.dataset)
         # Operations are pulled from the generator in chunks (YCSB-style
         # batched sampling); the buffer holds the sampled-ahead tail.  The
         # generator's RNG streams are private to it, so sampling ahead of the

@@ -12,28 +12,47 @@ Quaestor's estimator uses a dual strategy:
   query result is invalidated.
 
 Baselines from the related-work discussion (static TTLs, the Alex protocol,
-and an Alici-style adaptive scheme) are provided for the ablation benchmarks.
+an Alici-style adaptive scheme, a pure-Poisson and a mean-interarrival
+estimator) are provided for the ablation benchmarks, and every family is
+registered by name in :mod:`repro.ttl.spec` so deployments select one via
+:class:`TTLEstimatorSpec`.  :mod:`repro.ttl.bakeoff` sweeps the whole registry
+across stationary / drifting / bursty write processes end-to-end through the
+simulator (``make bench-ttl``, results in ``BENCH_ttl.json``).
 """
 
 from __future__ import annotations
 
 from repro.ttl.base import TTLBounds, TTLEstimator
-from repro.ttl.write_rate import WriteRateSampler
-from repro.ttl.poisson import poisson_quantile_ttl
+from repro.ttl.write_rate import WriteRateSampler, WriteRateTTLEstimator
+from repro.ttl.poisson import PoissonTTLEstimator, poisson_quantile_ttl
 from repro.ttl.ewma import EwmaTracker
 from repro.ttl.estimator import QuaestorTTLEstimator
 from repro.ttl.static import StaticTTLEstimator
 from repro.ttl.alex import AlexTTLEstimator
 from repro.ttl.adaptive import AdaptiveTTLEstimator
+from repro.ttl.spec import (
+    DEFAULT_ESTIMATOR,
+    ESTIMATOR_NAMES,
+    LEGACY_ESTIMATOR,
+    TTLEstimatorSpec,
+    build_estimator,
+)
 
 __all__ = [
     "TTLBounds",
     "TTLEstimator",
     "WriteRateSampler",
+    "WriteRateTTLEstimator",
     "poisson_quantile_ttl",
+    "PoissonTTLEstimator",
     "EwmaTracker",
     "QuaestorTTLEstimator",
     "StaticTTLEstimator",
     "AlexTTLEstimator",
     "AdaptiveTTLEstimator",
+    "TTLEstimatorSpec",
+    "build_estimator",
+    "DEFAULT_ESTIMATOR",
+    "LEGACY_ESTIMATOR",
+    "ESTIMATOR_NAMES",
 ]

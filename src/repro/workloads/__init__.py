@@ -17,7 +17,11 @@ from repro.workloads.distributions import (
 )
 from repro.workloads.dataset import Dataset, DatasetSpec, generate_dataset
 from repro.workloads.operations import Operation, OperationType
-from repro.workloads.generator import WorkloadGenerator, WorkloadSpec
+from repro.workloads.generator import (
+    PhasedWorkloadGenerator,
+    WorkloadGenerator,
+    WorkloadSpec,
+)
 
 __all__ = [
     "KeyDistribution",
@@ -30,5 +34,6 @@ __all__ = [
     "Operation",
     "OperationType",
     "WorkloadGenerator",
+    "PhasedWorkloadGenerator",
     "WorkloadSpec",
 ]

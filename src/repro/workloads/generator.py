@@ -10,7 +10,7 @@ from __future__ import annotations
 import random
 from bisect import bisect_right
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro import perf
 from repro.errors import ConfigurationError
@@ -301,3 +301,86 @@ class WorkloadGenerator:
                 "$set": {"category": self._rng.randrange(self.dataset.spec.categories_per_table)}
             }
         return {"$inc": {"views": 1}}
+
+
+class PhasedWorkloadGenerator:
+    """Concatenates per-phase workload generators at operation-count boundaries.
+
+    Non-stationary workloads -- a slow drift of the write rate, flash-crowd
+    bursts, hotspot shifts -- are expressed as a sequence of ``(operations,
+    spec)`` phases: the generator emits ``operations`` operations sampled from
+    each phase's :class:`WorkloadGenerator` before advancing to the next.  The
+    final phase is open-ended, so a simulation can always draw more
+    operations than the phase budgets sum to.  Every phase runs on its own
+    seeded RNG streams (carried by its spec), making the concatenated stream
+    exactly as reproducible as a single-spec workload.  The TTL estimator
+    bake-off (:mod:`repro.ttl.bakeoff`) builds its drifting and bursty write
+    processes from this.
+    """
+
+    def __init__(self, phases: Sequence[Tuple[int, WorkloadSpec]], dataset: Dataset) -> None:
+        if not phases:
+            raise ConfigurationError("at least one workload phase is required")
+        for operations, _spec in phases:
+            if operations <= 0:
+                raise ConfigurationError("every phase budget must be positive")
+        self.phases: Tuple[Tuple[int, WorkloadSpec], ...] = tuple(
+            (int(operations), spec) for operations, spec in phases
+        )
+        self.dataset = dataset
+        self._generators = [WorkloadGenerator(spec, dataset) for _, spec in self.phases]
+        self._index = 0
+        self._remaining = self.phases[0][0]
+
+    @property
+    def spec(self) -> WorkloadSpec:
+        """The spec of the currently active phase."""
+        return self.phases[self._index][1]
+
+    @property
+    def phase_index(self) -> int:
+        return self._index
+
+    def _advance_phase_if_exhausted(self) -> None:
+        # The last phase never exhausts: its budget is a soft boundary.
+        while self._remaining <= 0 and self._index + 1 < len(self.phases):
+            self._index += 1
+            self._remaining = self.phases[self._index][0]
+
+    def next_operation(self) -> Operation:
+        self._advance_phase_if_exhausted()
+        self._remaining -= 1
+        return self._generators[self._index].next_operation()
+
+    def next_operations(self, count: int) -> List[Operation]:
+        """Sample up to ``count`` operations without crossing a phase boundary.
+
+        May return fewer operations than requested when the active phase has
+        less budget left; callers that buffer in chunks simply refill.  Never
+        returns an empty list for a positive ``count``.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if count == 0:
+            return []
+        self._advance_phase_if_exhausted()
+        if self._index + 1 < len(self.phases):
+            count = min(count, self._remaining)
+        self._remaining -= count
+        return self._generators[self._index].next_operations(count)
+
+    def stream(self, count: int) -> Iterator[Operation]:
+        """Yield ``count`` operations, sampled lazily one at a time."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        for _ in range(count):
+            yield self.next_operation()
+
+    def operations(self, count: int) -> List[Operation]:
+        """Materialise ``count`` operations as a list."""
+        if not perf.FAST_PATHS:
+            return list(self.stream(count))
+        batch: List[Operation] = []
+        while len(batch) < count:
+            batch.extend(self.next_operations(count - len(batch)))
+        return batch

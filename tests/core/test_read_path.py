@@ -20,6 +20,7 @@ from repro.core import QuaestorConfig, QuaestorServer, ResultRepresentation
 from repro.core.read_path import PreparedShardRead, ReadContext, ReadPipeline
 from repro.db import Database, Query
 from repro.invalidb import InvaliDBCluster
+from repro.ttl import TTLEstimatorSpec
 
 GOLDEN_PATH = Path(__file__).parent / "golden_read_path.json"
 
@@ -46,7 +47,11 @@ def serialize(response):
 
 class TestGoldenEquivalence:
     def test_single_server_responses_are_byte_identical_to_pre_pipeline(self):
-        server, clock = build_server()
+        # The golden file was captured under the pre-bake-off default
+        # estimator; the legacy spec reproduces it byte-for-byte.
+        server, clock = build_server(
+            config=QuaestorConfig(ttl_estimator=TTLEstimatorSpec.legacy())
+        )
         for index in range(40):
             server.handle_insert(
                 "posts",

@@ -13,6 +13,7 @@ import pytest
 
 from repro import perf
 from repro.simulation import CachingMode, SimulationConfig, Simulator
+from repro.ttl import TTLEstimatorSpec
 from repro.workloads import DatasetSpec, WorkloadSpec
 
 
@@ -99,6 +100,16 @@ class TestGoldenSummaries:
     def test_summary_value_identical_to_pre_overhaul(self, mode, num_shards):
         result = Simulator(golden_config(mode, num_shards)).run()
         assert result.summary() == GOLDEN_SUMMARIES[(mode, num_shards)]
+
+    def test_legacy_estimator_spec_reproduces_the_pinned_summaries(self):
+        """The TTL bake-off confirmed the pre-existing estimator as the
+        default, and ``TTLEstimatorSpec.legacy()`` freezes it: runs under the
+        explicit legacy flag must keep reproducing the golden summaries even
+        if the ``quaestor`` registry entry is ever retuned."""
+        config = golden_config(CachingMode.QUAESTOR)
+        config.ttl_estimator = TTLEstimatorSpec.legacy()
+        result = Simulator(config).run()
+        assert result.summary() == GOLDEN_SUMMARIES[(CachingMode.QUAESTOR, 1)]
 
     def test_legacy_hot_paths_produce_the_same_summary(self):
         """The flagged legacy implementation is the benchmark baseline; it

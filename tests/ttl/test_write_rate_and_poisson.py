@@ -64,6 +64,54 @@ class TestWriteRateSampler:
             WriteRateSampler(max_samples_per_key=1)
         with pytest.raises(ValueError):
             WriteRateSampler(default_rate=0)
+        with pytest.raises(ValueError):
+            WriteRateSampler(estimation="guess")
+
+
+class TestEstimationModes:
+    """The window/span split the TTL bake-off measures (see module docstring)."""
+
+    def test_span_mode_reproduces_the_legacy_formula(self):
+        # Legacy: in-window count over the time since the oldest in-window
+        # sample -- byte-identical to the pre-bake-off implementation.
+        sampler = WriteRateSampler(window=100.0, estimation="span")
+        for timestamp in (10.0, 20.0, 30.0):
+            sampler.observe_write("key", timestamp)
+        assert sampler.write_rate("key", now=40.0) == pytest.approx(3 / 30.0)
+
+    def test_span_mode_lone_write_spike(self):
+        # The first-observation spike the property suite flushed out: one
+        # write observed just before the estimate yields a near-infinite
+        # rate in span mode, but keeps the prior in window mode.
+        span = WriteRateSampler(estimation="span", default_rate=0.01)
+        window = WriteRateSampler(estimation="window", default_rate=0.01)
+        for sampler in (span, window):
+            sampler.observe_write("key", 100.0)
+        assert span.write_rate("key", now=100.0) == pytest.approx(1e9)
+        assert window.write_rate("key", now=100.0) == 0.01
+
+    def test_window_mode_counts_arrivals_over_the_observed_span(self):
+        sampler = WriteRateSampler(window=100.0, estimation="window")
+        for timestamp in (10.0, 20.0, 30.0):
+            sampler.observe_write("key", timestamp)
+        # Observed span 40-10=30s capped at the window; three arrivals.
+        assert sampler.write_rate("key", now=40.0) == pytest.approx(3 / 30.0)
+
+    def test_window_mode_truncated_history_uses_the_tail_span(self):
+        sampler = WriteRateSampler(window=1_000.0, max_samples_per_key=5, estimation="window")
+        for timestamp in range(0, 100, 10):  # 10 writes, deque keeps 5
+            sampler.observe_write("key", float(timestamp))
+        # Kept samples 50..90: 4 inter-arrivals over a 50s tail span at now=100.
+        assert sampler.write_rate("key", now=100.0) == pytest.approx(4 / 50.0)
+
+    def test_estimator_specs_map_to_the_measured_modes(self):
+        from repro.ttl import TTLEstimatorSpec
+
+        assert TTLEstimatorSpec.of("quaestor").build().sampler.estimation == "span"
+        assert TTLEstimatorSpec.legacy().build().sampler.estimation == "span"
+        assert TTLEstimatorSpec.of("quaestor-window").build().sampler.estimation == "window"
+        assert TTLEstimatorSpec.of("poisson").build().sampler.estimation == "window"
+        assert TTLEstimatorSpec.of("write-rate").build().sampler.estimation == "window"
 
 
 class TestPoissonModel:
