@@ -47,6 +47,7 @@ REQUIRED_MODULES = (
     "repro.invalidb",
     "repro.replication",
     "repro.simulation",
+    "repro.simulation.parallel",
     "repro.ttl",
     "repro.ttl.bakeoff",
     "repro.workloads",

@@ -70,6 +70,16 @@ class Query:
     def __setattr__(self, name: str, value: Any) -> None:  # pragma: no cover - guard
         raise AttributeError("Query objects are immutable")
 
+    def __getstate__(self) -> Dict[str, Any]:
+        # Default slot pickling restores via setattr, which the immutability
+        # guard rejects; explicit state keeps queries picklable (the
+        # process-parallel simulator ships datasets to spawned workers).
+        return {slot: getattr(self, slot) for slot in self.__slots__}
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        for slot, value in state.items():
+            object.__setattr__(self, slot, value)
+
     # -- matching ------------------------------------------------------------------
 
     def matches(self, document: Document) -> bool:

@@ -20,6 +20,18 @@ from repro.simulation.simulator import (
     SimulationResult,
     Simulator,
 )
+from repro.simulation.parallel import (
+    ParallelParityError,
+    ParallelSimulationError,
+    ParallelSimulationResult,
+    ParallelSimulator,
+    PartitionJob,
+    PartitionOutcome,
+    merge_outcomes,
+    partition_simulation,
+    run_parity_harness,
+    serial_oracle,
+)
 
 __all__ = [
     "EventQueue",
@@ -33,4 +45,14 @@ __all__ = [
     "SimulationConfig",
     "SimulationResult",
     "Simulator",
+    "ParallelParityError",
+    "ParallelSimulationError",
+    "ParallelSimulationResult",
+    "ParallelSimulator",
+    "PartitionJob",
+    "PartitionOutcome",
+    "merge_outcomes",
+    "partition_simulation",
+    "run_parity_harness",
+    "serial_oracle",
 ]

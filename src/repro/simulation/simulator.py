@@ -350,6 +350,8 @@ class Simulator:
         self._measure_start_time: Optional[float] = None
         self._stop_time = config.duration
         self._stopped_at: Optional[float] = None
+        self._started = False
+        self._finalized = False
 
     # -- purge path -------------------------------------------------------------------------
 
@@ -365,10 +367,29 @@ class Simulator:
     # -- main loop ----------------------------------------------------------------------------
 
     def run(self) -> SimulationResult:
-        """Run the simulation and return aggregated results."""
-        # Connection start-up: one event per simulated connection, bulk-loaded
-        # via schedule_many (start times drawn in the same client-major order
-        # as before, so sequences -- and thus tie-breaking -- are unchanged).
+        """Run the simulation to completion and return aggregated results.
+
+        Equivalent to :meth:`start` followed by a single
+        :meth:`advance_until` up to the configured duration and
+        :meth:`finalize` -- the epoch-sliced parallel driver
+        (:mod:`repro.simulation.parallel`) calls the same three phases with
+        intermediate barriers, and both paths execute the exact same event
+        sequence.
+        """
+        self.start()
+        self.advance_until(self._stop_time)
+        return self.finalize()
+
+    def start(self) -> None:
+        """Seed the connection start-up events (idempotent).
+
+        One event per simulated connection, bulk-loaded via schedule_many
+        (start times drawn in the same client-major order as before, so
+        sequences -- and thus tie-breaking -- are unchanged).
+        """
+        if self._started:
+            return
+        self._started = True
         uniform = self.rng.uniform
         execute = self._execute_operation
         self.events.schedule_many(
@@ -380,26 +401,52 @@ class Simulator:
             label="op",
         )
 
+    def advance_until(self, end_time: float) -> bool:
+        """Execute events due at or before ``min(end_time, duration)``.
+
+        Returns ``True`` once the simulation is finished: the operation
+        budget is exhausted or no pending event is due within the configured
+        duration.  Slicing a run into several ``advance_until`` calls pops
+        the exact same events in the exact same order as one call covering
+        the whole span -- the clock only ever advances *to executed events*
+        (never to ``end_time`` itself), so epoch boundaries leave no trace
+        in any result value.  This is the determinism contract the parallel
+        simulator's epoch barriers rely on.
+        """
+        if not self._started:
+            raise RuntimeError("start() must be called before advance_until()")
         # Main loop: a single heap inspection per iteration (pop_if_before),
         # with the loop-invariant lookups hoisted out.
         pop_if_before = self.events.pop_if_before
         advance_to = self.clock.advance_to
-        stop_time = self._stop_time
+        limit = min(end_time, self._stop_time)
         max_operations = self.config.max_operations
         while self._total_operations < max_operations:
-            event = pop_if_before(stop_time)
+            event = pop_if_before(limit)
             if event is None:
                 break
             advance_to(event.timestamp)
             event.action()
+        if self._total_operations >= max_operations:
+            return True
+        next_time = self.events.peek_time()
+        return next_time is None or next_time > self._stop_time
 
-        self._stopped_at = self.clock.now()
+    def finalize(self) -> SimulationResult:
+        """Freeze the stop time and aggregate results (idempotent stop mark)."""
+        if not self._finalized:
+            self._finalized = True
+            self._stopped_at = self.clock.now()
         return self._collect_results()
 
     @property
     def total_operations(self) -> int:
         """Operations executed so far, warm-up included (benchmark surface)."""
         return self._total_operations
+
+    def stale_counts(self) -> Dict[str, int]:
+        """Measured-window staleness audit counters (parallel-merge surface)."""
+        return self._stale_counts.as_dict()
 
     # -- workload buffering ---------------------------------------------------------------------
 

@@ -1,0 +1,100 @@
+"""Worker-count and epoch-length invariance of the parallel simulator.
+
+The partition decomposition is a pure function of ``(config,
+num_partitions)``; worker count only schedules partitions onto processes and
+epoch length only sets barrier frequency.  Neither may leave any trace in
+the merged results -- these tests pin that down with exact equality.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.simulation import CachingMode, ParallelSimulator, partition_simulation
+from repro.simulation.parallel import parity_config
+
+
+@pytest.fixture(scope="module")
+def config():
+    return parity_config(CachingMode.QUAESTOR, replication_factor=3, num_partitions=4)
+
+
+@pytest.fixture(scope="module")
+def result_workers2(config):
+    return ParallelSimulator(config, num_partitions=4, num_workers=2).run()
+
+
+@pytest.fixture(scope="module")
+def result_workers4(config):
+    return ParallelSimulator(config, num_partitions=4, num_workers=4).run()
+
+
+def canonical(summary: dict) -> str:
+    return json.dumps(summary, sort_keys=False, separators=(",", ":"))
+
+
+class TestWorkerCountInvariance:
+    def test_workers_2_and_4_merge_identically(self, result_workers2, result_workers4):
+        assert canonical(result_workers2.summary()) == canonical(result_workers4.summary())
+
+    def test_barrier_traces_are_worker_count_invariant(
+        self, result_workers2, result_workers4
+    ):
+        """Per-epoch progress reports are about partitions, not processes."""
+        assert result_workers2.barrier_trace == result_workers4.barrier_trace
+        assert result_workers2.epochs_run == result_workers4.epochs_run
+
+    def test_inline_single_worker_matches_spawned_workers(self, config, result_workers2):
+        inline = ParallelSimulator(config, num_partitions=4, num_workers=1).run()
+        assert canonical(inline.summary()) == canonical(result_workers2.summary())
+        assert inline.barrier_trace == result_workers2.barrier_trace
+
+    def test_run_to_run_determinism(self, config, result_workers2):
+        again = ParallelSimulator(config, num_partitions=4, num_workers=2).run()
+        assert canonical(again.summary()) == canonical(result_workers2.summary())
+        assert again.barrier_trace == result_workers2.barrier_trace
+
+    def test_per_partition_outcomes_are_worker_count_invariant(
+        self, result_workers2, result_workers4
+    ):
+        for left, right in zip(result_workers2.outcomes, result_workers4.outcomes):
+            assert left.partition_id == right.partition_id
+            assert canonical(left.summary) == canonical(right.summary)
+            assert left.events_processed == right.events_processed
+
+
+class TestEpochLengthInvariance:
+    def test_epoch_length_cannot_change_results(self, config, result_workers2):
+        """Finer barriers change the trace, never a single result value."""
+        fine = ParallelSimulator(
+            config, num_partitions=4, num_workers=2, epoch_length=0.01
+        ).run()
+        assert canonical(fine.summary()) == canonical(result_workers2.summary())
+        assert fine.epochs_run >= result_workers2.epochs_run
+
+
+class TestEngineConfiguration:
+    def test_worker_count_clamps_to_partitions(self, config):
+        engine = ParallelSimulator(config, num_partitions=4, num_workers=16)
+        assert engine.num_workers == 4
+        assert engine.num_partitions == 4
+
+    def test_partitions_must_divide_shards(self, config):
+        with pytest.raises(ConfigurationError):
+            partition_simulation(config, num_partitions=3)
+
+    def test_every_partition_needs_a_client(self, config):
+        # 8 shards but only 4 clients: 8 partitions would leave some without any.
+        from dataclasses import replace
+
+        with pytest.raises(ConfigurationError):
+            partition_simulation(replace(config, num_shards=8), num_partitions=8)
+
+    def test_invalid_engine_parameters(self, config):
+        with pytest.raises(ConfigurationError):
+            ParallelSimulator(config, num_partitions=4, num_workers=0)
+        with pytest.raises(ConfigurationError):
+            ParallelSimulator(config, num_partitions=4, num_workers=2, epoch_length=0.0)

@@ -1,0 +1,85 @@
+"""Oracle parity for the process-parallel simulator (the PR 7 tentpole).
+
+The single-process :class:`Simulator` is the golden oracle: for every
+caching mode and replication factor, running the partitioned model through
+real spawned worker processes must reproduce the serial merge *byte for
+byte* -- summary dicts compare equal under Python ``==``, no tolerance.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.faults import FaultAction, FaultEvent, FaultPlan
+from repro.simulation import (
+    CachingMode,
+    ParallelSimulator,
+    Simulator,
+    serial_oracle,
+)
+from repro.simulation.parallel import parity_config, run_parity_harness
+
+MODES = (CachingMode.QUAESTOR, CachingMode.EBF_ONLY, CachingMode.CDN_ONLY)
+
+
+def canonical(summary: dict) -> str:
+    """Byte-exact serialised form (also pins key order)."""
+    return json.dumps(summary, sort_keys=False, separators=(",", ":"))
+
+
+class TestOracleParity:
+    @pytest.mark.parametrize("mode", MODES, ids=lambda mode: mode.value)
+    @pytest.mark.parametrize("replication_factor", (1, 3), ids=("rf1", "rf3"))
+    def test_spawned_workers_match_serial_oracle(self, mode, replication_factor):
+        config = parity_config(
+            mode, replication_factor=replication_factor, num_partitions=2
+        )
+        oracle = serial_oracle(config, num_partitions=2)
+        engine = ParallelSimulator(config, num_partitions=2, num_workers=2)
+        parallel = engine.run()
+        assert canonical(parallel.summary()) == canonical(oracle.summary())
+        assert parallel.operations == oracle.operations
+        assert parallel.total_operations == oracle.total_operations
+        assert parallel.events_processed == oracle.events_processed
+
+    def test_partition_one_is_the_classic_simulator(self):
+        """P=1 is the identity: the degenerate parallel run == Simulator.run()."""
+        config = parity_config(CachingMode.QUAESTOR, num_partitions=1)
+        classic = Simulator(config).run().summary()
+        merged = ParallelSimulator(config, num_partitions=1, num_workers=1).run().summary()
+        assert canonical(merged) == canonical(classic)
+
+    def test_parity_with_fault_plan_split_across_partitions(self):
+        """Fault events route to their owning partition and stay in parity."""
+        plan = FaultPlan(
+            events=[
+                FaultEvent(0.02, FaultAction.CRASH, "shard:0"),
+                FaultEvent(0.03, FaultAction.CRASH, "s1:n1"),
+                FaultEvent(0.12, FaultAction.RECOVER, "shard:0"),
+                FaultEvent(0.13, FaultAction.RECOVER, "s1:n1"),
+            ],
+            name="parity-faults",
+        )
+        config = replace(
+            parity_config(CachingMode.QUAESTOR, replication_factor=3), fault_plan=plan
+        )
+        oracle = serial_oracle(config, num_partitions=2)
+        parallel = ParallelSimulator(config, num_partitions=2, num_workers=2).run()
+        assert canonical(parallel.summary()) == canonical(oracle.summary())
+        # Both partitions actually injected faults (late recoveries may land
+        # after the operation budget is exhausted, so >= both crashes).
+        assert oracle.summary()["faults_injected"] >= 2.0
+
+    def test_run_parity_harness_reports_all_match(self):
+        report = run_parity_harness(
+            modes=(CachingMode.QUAESTOR,),
+            replication_factors=(1,),
+            workers=(2,),
+            num_partitions=2,
+        )
+        assert report["all_match"] is True
+        (case,) = report["cases"]
+        assert case["workers"] == {2: True}
