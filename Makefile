@@ -28,6 +28,14 @@
 #                                   oversubscribed counts bounded)
 #   make sim-parallel-smoke       - oracle-parity + worker-invariance test subset
 #   make smoke-failover  - seeded crash+recover scenario must stay deterministic
+#   make bench-resilience        - availability/staleness chaos grid (resilience
+#                                  on vs off); rewrites BENCH_resilience.json
+#   make bench-resilience-check  - budget-mode run gated against the committed
+#                                  BENCH_resilience.json (fails when resilience
+#                                  stops beating the unprotected arm on a gray
+#                                  scenario or staleness escapes the Δ budget)
+#   make chaos-smoke     - seeded gray-failure scenarios (brownout/flaky/hedge)
+#                          must stay deterministic and keep their wins
 #   make docs-check      - fail if README.md or docs/ reference missing modules/files
 
 PYTHON ?= python
@@ -41,11 +49,12 @@ GATED_BENCH := \
 	benchmarks/bench_hotpaths.py \
 	benchmarks/bench_sim_throughput.py \
 	benchmarks/bench_replication.py \
-	benchmarks/bench_ttl.py
+	benchmarks/bench_ttl.py \
+	benchmarks/bench_resilience.py
 
 BENCH_FILES := $(filter-out $(GATED_BENCH),$(wildcard benchmarks/bench_*.py))
 
-.PHONY: test bench-smoke bench bench-hotpaths bench-hotpaths-check bench-sim bench-sim-check bench-sim-parallel bench-sim-parallel-check sim-parallel-smoke bench-replication bench-replication-check bench-ttl bench-ttl-check smoke-failover docs-check
+.PHONY: test bench-smoke bench bench-hotpaths bench-hotpaths-check bench-sim bench-sim-check bench-sim-parallel bench-sim-parallel-check sim-parallel-smoke bench-replication bench-replication-check bench-ttl bench-ttl-check bench-resilience bench-resilience-check smoke-failover chaos-smoke docs-check
 
 test:
 	$(PYTEST) -x -q
@@ -89,8 +98,17 @@ bench-ttl:
 bench-ttl-check:
 	$(PYTHON) benchmarks/bench_ttl.py --budget --check BENCH_ttl.json
 
+bench-resilience:
+	$(PYTHON) benchmarks/bench_resilience.py
+
+bench-resilience-check:
+	$(PYTHON) benchmarks/bench_resilience.py --budget --check BENCH_resilience.json
+
 smoke-failover:
 	$(PYTEST) tests/replication/test_failover_smoke.py -q
+
+chaos-smoke:
+	$(PYTEST) tests/resilience/test_chaos_smoke.py -q
 
 docs-check:
 	$(PYTHON) scripts/docs_check.py

@@ -1,0 +1,260 @@
+#!/usr/bin/env python
+"""Resilience benchmark: availability/staleness grid under gray-failure chaos.
+
+For each chaos scenario -- a shard **brownout** (slow + mildly flaky), a
+**flaky shard** (seeded request drops) and **rolling primary crashes** --
+the same seeded workload runs twice: with the resilience layer off and with
+it on (deadline-bounded retries, per-shard/per-replica circuit breakers,
+hedged reads, stale-if-error degraded serving).  Written to
+``BENCH_resilience.json`` per scenario and arm:
+
+* ``success_rate`` (1 - request error rate) -- the availability headline,
+* the observed staleness bound (must stay inside the stale-if-error Δ budget),
+* retry / breaker / hedge / degraded-serving counters.
+
+All reported numbers are *simulated* metrics of seeded runs -- fully
+deterministic, independent of the benchmarking machine -- so the committed
+report doubles as a regression baseline: ``--check`` fails when resilience
+stops beating the unprotected arm on availability in any brownout/flaky
+scenario (crash scenarios are exempt: fail-stop outages are the failover
+subsystem's job), or when measured staleness escapes the configured budget.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_resilience.py             # full run
+    PYTHONPATH=src python benchmarks/bench_resilience.py --budget    # CI-sized
+    PYTHONPATH=src python benchmarks/bench_resilience.py --budget \\
+        --check BENCH_resilience.json                               # regression gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import sys
+import time
+from typing import Dict, List
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.faults import FaultPlan  # noqa: E402
+from repro.resilience import ResilienceConfig  # noqa: E402
+from repro.simulation import CachingMode, SimulationConfig, Simulator  # noqa: E402
+from repro.workloads import DatasetSpec, WorkloadSpec  # noqa: E402
+
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_resilience.json"
+SCHEMA = "quaestor-bench-resilience/1"
+#: --check fails when a gray scenario's resilience-on success rate falls
+#: below committed by more than this margin (absolute, e.g. 0.002 = 0.2 pp).
+DEFAULT_TOLERANCE = 0.002
+#: Staleness ceiling: the stale-if-error policy's Δ budget (seconds).  The
+#: gate fails any resilience-on scenario whose observed bound exceeds it.
+STALENESS_BUDGET_S = ResilienceConfig().stale_if_error.max_staleness
+#: Scenarios exempt from the "on beats off" availability requirement.
+CRASH_SCENARIOS = ("rolling-crashes",)
+
+
+def chaos_plans() -> Dict[str, FaultPlan]:
+    """The chaos grid.  Fault windows sit early in the run so every phase
+    (onset, degraded window, recovery) lands inside the measured window at
+    any operation budget."""
+    return {
+        "brownout": FaultPlan.brownout(
+            shard=0, at=0.02, recover_at=0.4, slow_factor=5.0, drop_rate=0.3
+        ),
+        "flaky-shard": FaultPlan.flaky(
+            shard=0, at=0.02, recover_at=0.4, drop_rate=0.45
+        ),
+        "rolling-crashes": FaultPlan.rolling_primary_crashes(
+            shards=[0, 1], start=0.02, spacing=0.06, downtime=0.15
+        ),
+    }
+
+
+def chaos_config(
+    plan: FaultPlan, resilience: ResilienceConfig, max_operations: int
+) -> SimulationConfig:
+    """The full system (QUAESTOR mode) on 2 shards at RF=2 under ``plan``.
+
+    No warm-up: the fault window sits at the very start of the run, and the
+    availability metrics must *measure* it."""
+    return SimulationConfig(
+        mode=CachingMode.QUAESTOR,
+        workload=WorkloadSpec.read_heavy(),
+        dataset=DatasetSpec(num_tables=2, documents_per_table=300, queries_per_table=30),
+        num_clients=4,
+        connections_per_client=50,
+        ebf_refresh_interval=1.0,
+        matching_nodes=2,
+        duration=60.0,
+        warmup_fraction=0.0,
+        max_operations=max_operations,
+        seed=13,
+        num_shards=2,
+        replication_factor=2,
+        fault_plan=plan,
+        failover_detection_delay=0.03,
+        resilience=resilience,
+    )
+
+
+def run_arm(plan: FaultPlan, resilience: ResilienceConfig, max_operations: int) -> Dict[str, object]:
+    simulator = Simulator(chaos_config(plan, resilience, max_operations))
+    wall_start = time.perf_counter()
+    summary = simulator.run().summary()
+    wall = time.perf_counter() - wall_start
+    entry: Dict[str, object] = {
+        "success_rate": round(1.0 - summary["request_error_rate"], 5),
+        "request_error_rate": round(summary["request_error_rate"], 5),
+        "throughput_ops_per_sec": round(summary["throughput"], 1),
+        "mean_read_latency_ms": round(summary["mean_read_latency_ms"], 3),
+        "max_staleness_s": round(summary["max_staleness_s"], 4),
+        "mean_staleness_s": round(summary["mean_staleness_s"], 4),
+        "wall_seconds": round(wall, 2),
+    }
+    if resilience.enabled:
+        entry.update(
+            {
+                "resilience_retries": summary["resilience_retries"],
+                "resilience_retry_successes": summary["resilience_retry_successes"],
+                "breaker_fast_fails": summary["breaker_fast_fails"],
+                "hedged_reads": summary["hedged_reads"],
+                "hedge_wins": summary["hedge_wins"],
+                "stale_if_error_serves": summary["stale_if_error_serves"],
+                "degraded_served": summary["degraded_served"],
+            }
+        )
+    return entry
+
+
+def run_grid(max_operations: int) -> Dict[str, object]:
+    grid: Dict[str, object] = {}
+    for name, plan in chaos_plans().items():
+        off = run_arm(plan, ResilienceConfig.off(), max_operations)
+        on = run_arm(plan, ResilienceConfig(), max_operations)
+        grid[name] = {
+            "resilience_off": off,
+            "resilience_on": on,
+            "availability_gain": round(on["success_rate"] - off["success_rate"], 5),
+        }
+    return grid
+
+
+def run(budget: bool) -> Dict[str, object]:
+    max_operations = 6_000 if budget else 20_000
+    return {
+        "schema": SCHEMA,
+        "generated_by": "benchmarks/bench_resilience.py",
+        "budget_mode": budget,
+        "python": platform.python_version(),
+        "note": (
+            "all metrics are simulated (seeded, deterministic); only the "
+            "wall_seconds fields depend on the benchmarking machine"
+        ),
+        "max_operations": max_operations,
+        "staleness_budget_s": STALENESS_BUDGET_S,
+        "scenarios": run_grid(max_operations),
+    }
+
+
+def check(report: Dict[str, object], baseline_path: pathlib.Path, tolerance: float) -> int:
+    """Regression gate on the deterministic chaos-grid metrics.
+
+    Fails when resilience-on stops beating resilience-off on availability
+    in any gray (brownout/flaky) scenario, when the resilience-on success
+    rate drops below the committed baseline by more than ``tolerance``, or
+    when measured staleness escapes the stale-if-error Δ budget.
+    """
+    committed = json.loads(baseline_path.read_text(encoding="utf-8"))
+    failures: List[str] = []
+
+    for name, scenario in report["scenarios"].items():
+        on = scenario["resilience_on"]
+        off = scenario["resilience_off"]
+        reference = committed["scenarios"].get(name, {})
+        crash_exempt = name in CRASH_SCENARIOS
+
+        if not crash_exempt:
+            status = "ok" if on["success_rate"] > off["success_rate"] else "REGRESSION"
+            print(
+                f"  {name:<16} availability on {on['success_rate']:.4f} vs "
+                f"off {off['success_rate']:.4f}  {status}"
+            )
+            if on["success_rate"] <= off["success_rate"]:
+                failures.append(f"{name}:on_not_better_than_off")
+            committed_on = reference.get("resilience_on", {}).get("success_rate")
+            if committed_on is not None:
+                floor = committed_on - tolerance
+                status = "ok" if on["success_rate"] >= floor else "REGRESSION"
+                print(
+                    f"  {name:<16} success rate {on['success_rate']:.4f}  "
+                    f"committed {committed_on:.4f}  floor {floor:.4f}  {status}"
+                )
+                if on["success_rate"] < floor:
+                    failures.append(f"{name}:success_rate_collapse")
+            if off["request_error_rate"] == 0.0:
+                # The chaos window stopped producing measured failures: the
+                # on-vs-off comparison would be vacuous.
+                print(f"  {name:<16} chaos produced no unprotected errors  REGRESSION")
+                failures.append(f"{name}:chaos_not_measured")
+        else:
+            print(f"  {name:<16} (crash scenario: availability gate exempt)")
+
+        budget = report["staleness_budget_s"]
+        status = "ok" if on["max_staleness_s"] <= budget else "REGRESSION"
+        print(
+            f"  {name:<16} max staleness {on['max_staleness_s']:.3f}s  "
+            f"budget {budget:g}s  {status}"
+        )
+        if on["max_staleness_s"] > budget:
+            failures.append(f"{name}:staleness_budget")
+
+    if failures:
+        print(f"FAIL: resilience regression on: {', '.join(failures)}")
+        return 1
+    print("OK: resilience beats the unprotected arm and staleness stays in budget")
+    return 0
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--budget", action="store_true", help="CI-sized run (fewer operations)"
+    )
+    parser.add_argument(
+        "--output", type=pathlib.Path, default=DEFAULT_OUTPUT,
+        help=f"where to write the JSON report (default: {DEFAULT_OUTPUT})",
+    )
+    parser.add_argument(
+        "--no-write", action="store_true", help="measure and print without writing the file"
+    )
+    parser.add_argument(
+        "--check", type=pathlib.Path, metavar="BASELINE",
+        help="compare against a committed report; exit 1 on regression",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=DEFAULT_TOLERANCE,
+        help=f"allowed absolute success-rate drop for --check "
+             f"(default {DEFAULT_TOLERANCE:g})",
+    )
+    args = parser.parse_args(argv)
+
+    report = run(args.budget)
+    print(json.dumps(report, indent=2))
+
+    if args.check is not None:
+        # Gate runs never overwrite the committed baseline they compare against.
+        print(f"\nRegression check against {args.check}:")
+        return check(report, args.check, args.tolerance)
+
+    if not args.no_write:
+        args.output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+        print(f"\nwrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

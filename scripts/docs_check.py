@@ -46,6 +46,7 @@ REQUIRED_MODULES = (
     "repro.faults",
     "repro.invalidb",
     "repro.replication",
+    "repro.resilience",
     "repro.simulation",
     "repro.simulation.parallel",
     "repro.ttl",

@@ -40,6 +40,13 @@ SESSION_LEVEL = "session"
 #: round trip; the simulator accounts it as a failed operation.
 ERROR_LEVEL = "error"
 
+#: Synthetic level reported when an unavailable origin was answered from the
+#: client's *expired* cache entry under the stale-if-error policy.  A
+#: deliberately distinct level: degraded serves must never be counted as
+#: fresh cache hits, and the freshness audit records them with an explicit
+#: degraded marker.
+DEGRADED_LEVEL = "stale-if-error"
+
 
 @dataclass(slots=True)
 class ClientResult:
@@ -53,6 +60,9 @@ class ClientResult:
     revalidated: bool = False
     #: Levels of any additional per-record fetches (id-list assembly).
     extra_levels: List[str] = field(default_factory=list)
+    #: True when served under stale-if-error: the value is *known* expired,
+    #: surfaced only because the authoritative path was unavailable.
+    degraded: bool = False
 
     @property
     def served_by_cache(self) -> bool:
@@ -89,6 +99,7 @@ class QuaestorClient:
         use_ebf: bool = True,
         client_cache_max_entries: Optional[int] = None,
         name: str = "client",
+        resilience=None,
     ) -> None:
         self.server = server
         self.name = name
@@ -96,6 +107,14 @@ class QuaestorClient:
         self.consistency = consistency
         self.use_client_cache = use_client_cache
         self.use_ebf = use_ebf
+        # Stale-if-error: with a resilience config attached (and the policy
+        # enabled), an unavailable origin may be answered from the client's
+        # expired cache entry, bounded by the policy's staleness budget.
+        self._stale_policy = (
+            resilience.stale_if_error
+            if resilience is not None and resilience.enabled
+            else None
+        )
 
         self.client_cache = ExpirationCache(
             f"{name}-cache", self._clock, shared=False, max_entries=client_cache_max_entries
@@ -192,6 +211,9 @@ class QuaestorClient:
             # round trip must not whitelist the key or touch session state.
             if refresh_due:
                 self.refresh_bloom_filter()
+            degraded = self._stale_if_error(key)
+            if degraded is not None:
+                return degraded
             return self._unavailable_result(key, "reads")
         document, version = self._unpack_record(result)
 
@@ -560,6 +582,40 @@ class QuaestorClient:
         """
         self.counters.increment(f"unavailable_{kind}")
         return ClientResult(key=key, value=value, level=ERROR_LEVEL)
+
+    def _stale_if_error(self, key: str) -> Optional[ClientResult]:
+        """Degraded serving: answer an unavailable origin from expired cache.
+
+        Consults the client cache *including* expired entries
+        (:meth:`~repro.caching.base.WebCache.peek`, which never touches
+        hit/miss statistics) and serves the entry only while it is within
+        the stale-if-error policy's staleness budget past its freshness
+        deadline.  The result carries :data:`DEGRADED_LEVEL` and the
+        ``degraded`` marker -- it is never a cache *hit* (no ``hits_*``
+        counter moves), never whitelisted, and never observed into session
+        state (the value is known stale; monotonic/causal bookkeeping must
+        not advance on it).
+        """
+        policy = self._stale_policy
+        if policy is None or not self.use_client_cache:
+            return None
+        entry = self.client_cache.peek(key)
+        if entry is None:
+            return None
+        age_past_expiry = self.now() - entry.fresh_until
+        if not policy.may_serve(age_past_expiry):
+            self.counters.increment("stale_if_error_rejects")
+            return None
+        self.counters.increment("stale_if_error_serves")
+        body = entry.body if isinstance(entry.body, dict) else {}
+        return ClientResult(
+            key=key,
+            value=body.get("document"),
+            level=DEGRADED_LEVEL,
+            etag=entry.etag,
+            version=body.get("version"),
+            degraded=True,
+        )
 
     def _after_own_write(self, key: str, response: Response) -> None:
         body = response.body or {}

@@ -73,6 +73,8 @@ from repro.db.database import Database
 from repro.db.documents import Document
 from repro.db.query import Query, apply_sort_and_window
 from repro.errors import ShardUnavailableError
+from repro.faults.gray import GrayFailureState
+from repro.resilience import ResilienceConfig, ResilienceRuntime
 from repro.invalidb.cluster import InvaliDBCluster
 from repro.metrics.counters import Counter
 from repro.cluster.metrics import ClusterMetrics
@@ -133,6 +135,8 @@ class QuaestorCluster:
         replicas: int = 64,
         create_indexes: bool = True,
         replication: Optional[ReplicationConfig] = None,
+        resilience: Optional[ResilienceConfig] = None,
+        gray_seed: int = 0,
     ) -> None:
         if num_shards <= 0:
             raise ValueError("num_shards must be positive")
@@ -143,6 +147,14 @@ class QuaestorCluster:
         self.counters = Counter()
         self.replication = replication if replication is not None else ReplicationConfig()
         self._matching_nodes = matching_nodes
+        #: Gray failures (slow / flaky targets) the fault injector toggles;
+        #: empty in every run without gray fault events, so the request paths
+        #: keep their exact pre-resilience behavior (and RNG silence).
+        self.gray = GrayFailureState(gray_seed)
+        self.resilience = resilience if resilience is not None and resilience.enabled else None
+        self.resilience_runtime = (
+            ResilienceRuntime(self.resilience, self.clock) if self.resilience else None
+        )
 
         databases = [Database(clock=self.clock) for _ in range(num_shards)]
         if dataset is not None:
@@ -175,6 +187,11 @@ class QuaestorCluster:
             )
             for shard in self.shards
         ]
+        if self.resilience_runtime is not None and self.resilience.breaker is not None:
+            # Per-replica breakers: a replica that keeps failing (e.g. gray
+            # ack drops) is routed around until its breaker half-opens.
+            for group in self.groups:
+                group.breaker_gate = self.resilience_runtime.allow
         #: Queries whose fleet-wide admission committed: the control-plane
         #: registry failover uses to rebuild InvaliDB registrations and
         #: active-list entries on a promoted primary.
@@ -292,16 +309,154 @@ class QuaestorCluster:
         Collections are materialised on every shard at insert/load time, so
         the hot path needs no existence scan; a read of a collection that was
         never created raises like on a single server.
+
+        With a resilience layer attached (or gray failures in force) the
+        read runs through :meth:`_read_resilient` -- retry with seeded
+        backoff, per-shard circuit breaker, deadline budget.  The plain path
+        below is kept as the exact pre-resilience fast path.
         """
         self.counters.increment("reads")
         shard_id = self.router.record_read(collection, document_id)
-        try:
-            return self.groups[shard_id].read(
-                collection, document_id, consistency=consistency, min_timestamp=min_timestamp
-            )
-        except ShardUnavailableError:
-            self.counters.increment("read_errors")
-            return self._unavailable_response(shard_id)
+        if self.resilience_runtime is None and not self.gray.active:
+            try:
+                return self.groups[shard_id].read(
+                    collection, document_id, consistency=consistency, min_timestamp=min_timestamp
+                )
+            except ShardUnavailableError:
+                self.counters.increment("read_errors")
+                return self._unavailable_response(shard_id)
+        return self._read_resilient(shard_id, collection, document_id, consistency, min_timestamp)
+
+    def _read_resilient(
+        self,
+        shard_id: int,
+        collection: str,
+        document_id: str,
+        consistency: Optional[ConsistencyLevel],
+        min_timestamp: Optional[float],
+    ) -> Response:
+        """Record read with retry/backoff, breaker gating and deadline budget.
+
+        Reads are idempotent, so every failure mode -- shard unavailable,
+        gray request drop, gray response drop -- is retryable up to the
+        policy's attempt budget.  Backoff waits and extra network attempts
+        are accumulated on the runtime's :class:`RequestTrace`; the simulator
+        drains them into latency (virtual time cannot advance inside this
+        synchronous loop).
+        """
+        runtime = self.resilience_runtime
+        group = self.groups[shard_id]
+        shard_key = f"shard:{shard_id}"
+        attempts = runtime.read_attempts if runtime is not None else 1
+        # The deadline budget is built lazily on the first failure: a clean
+        # first attempt (the overwhelmingly common case) allocates nothing.
+        deadline = None
+        for attempt in range(attempts):
+            if runtime is not None and not runtime.allow(shard_key):
+                self.counters.increment("breaker_fast_fails")
+                runtime.trace.fast_failed = True
+                break
+            if attempt:
+                self.counters.increment("read_retries")
+            try:
+                response = self._attempt_read(
+                    shard_id, group, collection, document_id, consistency, min_timestamp
+                )
+            except ShardUnavailableError:
+                if runtime is not None:
+                    runtime.record_failure(shard_key)
+                    if deadline is None:
+                        deadline = runtime.new_deadline()
+                if runtime is None or not self._plan_retry(runtime, deadline, attempt, attempts):
+                    break
+                continue
+            if runtime is not None:
+                runtime.record_success(shard_key)
+                if attempt:
+                    self.counters.increment("read_retry_successes")
+            return response
+        self.counters.increment("read_errors")
+        return self._unavailable_response(shard_id)
+
+    def _attempt_read(
+        self,
+        shard_id: int,
+        group: ReplicaGroup,
+        collection: str,
+        document_id: str,
+        consistency: Optional[ConsistencyLevel],
+        min_timestamp: Optional[float],
+    ) -> Response:
+        """One network attempt, subject to the gray failure state.
+
+        A shard-level flaky target drops the *request* before it reaches any
+        node; a node-level flaky target drops the *response* after the read
+        was served (both retry-safe for reads).
+        """
+        if self.gray.should_drop_request(shard_id):
+            self.counters.increment("gray_request_drops")
+            raise ShardUnavailableError(f"shard {shard_id}: request dropped (gray failure)")
+        response = group.read(
+            collection, document_id, consistency=consistency, min_timestamp=min_timestamp
+        )
+        served_by = group.last_served_node_id
+        if self.gray.should_drop_response(served_by):
+            self.counters.increment("gray_response_drops")
+            if self.resilience_runtime is not None and served_by is not None:
+                self.resilience_runtime.record_failure(served_by)
+            raise ShardUnavailableError(f"{served_by}: response dropped (gray failure)")
+        if self.resilience_runtime is not None and served_by is not None:
+            self.resilience_runtime.record_success(served_by)
+        return response
+
+    def _plan_retry(
+        self,
+        runtime: ResilienceRuntime,
+        deadline,
+        attempt: int,
+        attempts: int,
+    ) -> bool:
+        """Decide (and account for) one more attempt after a failure.
+
+        Charges the jittered backoff plus the nominal per-attempt round trip
+        against the request's deadline budget *before* the retry goes out --
+        a request never starts work it has no time budget left for.
+        """
+        if attempt + 1 >= attempts:
+            return False
+        backoff = runtime.backoff(attempt)
+        if deadline is not None:
+            cost = backoff + runtime.config.assumed_round_trip
+            if not deadline.allows(cost):
+                self.counters.increment("deadline_exhausted")
+                return False
+            deadline.charge(cost)
+        runtime.trace.backoff_s += backoff
+        runtime.trace.extra_round_trips += 1
+        return True
+
+    def take_resilience_trace(self):
+        """Drain the per-request resilience trace (``None`` without a runtime)."""
+        if self.resilience_runtime is None:
+            return None
+        return self.resilience_runtime.take_trace()
+
+    # -- gray failure surface (driven by the fault injector) ------------------------------
+
+    def slow_target(self, target: str, factor: float) -> None:
+        """Inflate a target's (``"shard:N"`` / ``"sN:nM"``) latency by ``factor``."""
+        self.gray.set_slow(target, factor)
+        self.counters.increment("gray_slow_events")
+
+    def flaky_target(self, target: str, rate: float) -> None:
+        """Make a target drop a seeded ``rate`` fraction of its traffic."""
+        self.gray.set_flaky(target, rate)
+        self.counters.increment("gray_flaky_events")
+
+    def restore_target(self, target: str) -> None:
+        """Clear every gray condition on ``target``."""
+        self.gray.restore(target)
+        self.counters.increment("gray_restores")
 
     @staticmethod
     def _unavailable_response(shard_id: int) -> Response:
@@ -338,11 +493,24 @@ class QuaestorCluster:
         scatter = self._scatter_query(query)
         prepared = []
         shard_errors: Dict[int, str] = {}
+        runtime = self.resilience_runtime
+        gray_active = self.gray.active
+        # One deadline budget per scatter, shared by every shard's retries:
+        # the gather point is only as patient as the whole request's budget.
+        deadline = runtime.new_deadline() if runtime is not None and gray_active else None
         for shard in self.shards:
-            if not self.groups[shard.shard_id].primary_alive:
-                shard_errors[shard.shard_id] = "primary-unavailable"
+            shard_id = shard.shard_id
+            if not self.groups[shard_id].primary_alive:
+                shard_errors[shard_id] = "primary-unavailable"
                 continue
-            prepared.append(shard.server.prepare_shard_query(query, scatter))
+            if runtime is not None and not runtime.allow(f"shard:{shard_id}"):
+                self.counters.increment("breaker_fast_fails")
+                shard_errors[shard_id] = "breaker-open"
+                continue
+            if gray_active and not self._scatter_attempt(shard_id, deadline):
+                shard_errors[shard_id] = "request-dropped"
+                continue
+            prepared.append(shard.server.prepare_shard_query(query, scatter, deadline=deadline))
         if shard_errors:
             self.counters.increment("scatter_queries_degraded")
             self.counters.increment("scatter_shard_errors", len(shard_errors))
@@ -363,6 +531,40 @@ class QuaestorCluster:
                 self.counters.increment("scatter_queries_aborted")
             responses = [read.abort() for read in prepared]
         return self._merge_query_responses(query, responses, now, shard_errors=shard_errors)
+
+    def _scatter_attempt(self, shard_id: int, deadline) -> bool:
+        """Get one scatter sub-request through a flaky shard (with retries).
+
+        Returns ``True`` when the sub-request reaches the shard.  Without a
+        resilience runtime a single gray drop loses the shard's contribution
+        (the pre-resilience failure mode the benchmark's off-arm measures);
+        with one, the sub-request retries on the shared scatter deadline.
+        """
+        runtime = self.resilience_runtime
+        shard_key = f"shard:{shard_id}"
+        if not self.gray.should_drop_request(shard_id):
+            if runtime is not None:
+                runtime.record_success(shard_key)
+            return True
+        self.counters.increment("gray_request_drops")
+        if runtime is None:
+            return False
+        runtime.record_failure(shard_key)
+        attempts = runtime.read_attempts
+        for attempt in range(attempts - 1):
+            if not runtime.allow(shard_key):
+                self.counters.increment("breaker_fast_fails")
+                return False
+            if not self._plan_retry(runtime, deadline, attempt, attempts):
+                return False
+            self.counters.increment("query_retries")
+            if not self.gray.should_drop_request(shard_id):
+                runtime.record_success(shard_key)
+                self.counters.increment("query_retry_successes")
+                return True
+            self.counters.increment("gray_request_drops")
+            runtime.record_failure(shard_key)
+        return False
 
     def _scatter_query(self, query: Query) -> Query:
         """The per-shard fetch window covering the global result window.
@@ -444,26 +646,96 @@ class QuaestorCluster:
         for group in self.groups:
             group.ensure_collection(collection)
         shard_id = self.router.record_write(collection, str(document.get("_id", "")))
-        if not self.groups[shard_id].primary_alive:
-            self.counters.increment("write_errors")
-            return self._unavailable_response(shard_id)
-        return self.shards[shard_id].server.handle_insert(collection, document)
+        if self.resilience_runtime is None and not self.gray.active:
+            if not self.groups[shard_id].primary_alive:
+                self.counters.increment("write_errors")
+                return self._unavailable_response(shard_id)
+            return self.shards[shard_id].server.handle_insert(collection, document)
+        return self._write_resilient(
+            shard_id, lambda: self.shards[shard_id].server.handle_insert(collection, document)
+        )
 
     def update(self, collection: str, document_id: str, update: Document) -> Response:
         self.counters.increment("writes")
         shard_id = self.router.record_write(collection, document_id)
-        if not self.groups[shard_id].primary_alive:
-            self.counters.increment("write_errors")
-            return self._unavailable_response(shard_id)
-        return self.shards[shard_id].server.handle_update(collection, document_id, update)
+        if self.resilience_runtime is None and not self.gray.active:
+            if not self.groups[shard_id].primary_alive:
+                self.counters.increment("write_errors")
+                return self._unavailable_response(shard_id)
+            return self.shards[shard_id].server.handle_update(collection, document_id, update)
+        return self._write_resilient(
+            shard_id,
+            lambda: self.shards[shard_id].server.handle_update(collection, document_id, update),
+        )
 
     def delete(self, collection: str, document_id: str) -> Response:
         self.counters.increment("writes")
         shard_id = self.router.record_write(collection, document_id)
-        if not self.groups[shard_id].primary_alive:
-            self.counters.increment("write_errors")
-            return self._unavailable_response(shard_id)
-        return self.shards[shard_id].server.handle_delete(collection, document_id)
+        if self.resilience_runtime is None and not self.gray.active:
+            if not self.groups[shard_id].primary_alive:
+                self.counters.increment("write_errors")
+                return self._unavailable_response(shard_id)
+            return self.shards[shard_id].server.handle_delete(collection, document_id)
+        return self._write_resilient(
+            shard_id, lambda: self.shards[shard_id].server.handle_delete(collection, document_id)
+        )
+
+    def _write_resilient(self, shard_id: int, apply) -> Response:
+        """Write with pre-admission retries only (idempotency-aware).
+
+        Failures that happen *before* the primary admits the mutation -- a
+        down primary, a gray request drop -- are retried like reads: the
+        write never reached a log, so re-sending cannot double-apply.  A
+        gray *response* drop is different: the primary applied and
+        replicated the write but the ack was lost.  Re-sending a
+        non-idempotent mutation would double-apply it, so the loss surfaces
+        as an error (counted separately as ``write_ack_drops``) and the
+        breaker learns about the flaky node.
+        """
+        runtime = self.resilience_runtime
+        group = self.groups[shard_id]
+        shard_key = f"shard:{shard_id}"
+        attempts = runtime.write_attempts if runtime is not None else 1
+        deadline = None
+        for attempt in range(attempts):
+            if runtime is not None and not runtime.allow(shard_key):
+                self.counters.increment("breaker_fast_fails")
+                runtime.trace.fast_failed = True
+                break
+            if attempt:
+                self.counters.increment("write_retries")
+            # Pre-admission checks: both failure modes are retryable.
+            if self.gray.should_drop_request(shard_id):
+                self.counters.increment("gray_request_drops")
+                failed_pre_admission = True
+            elif not group.primary_alive:
+                failed_pre_admission = True
+            else:
+                failed_pre_admission = False
+            if failed_pre_admission:
+                if runtime is not None:
+                    runtime.record_failure(shard_key)
+                    if deadline is None:
+                        deadline = runtime.new_deadline()
+                if runtime is None or not self._plan_retry(runtime, deadline, attempt, attempts):
+                    break
+                continue
+            response = apply()
+            served_by = group.primary_node_id
+            if self.gray.should_drop_response(served_by):
+                # Post-apply ack loss: never retried (see docstring).
+                self.counters.increment("gray_response_drops")
+                self.counters.increment("write_ack_drops")
+                if runtime is not None:
+                    runtime.record_failure(served_by)
+                break
+            if runtime is not None:
+                runtime.record_success(shard_key)
+                if attempt:
+                    self.counters.increment("write_retry_successes")
+            return response
+        self.counters.increment("write_errors")
+        return self._unavailable_response(shard_id)
 
     def write_batch(self, operations: Sequence[Operation]) -> List[Response]:
         """Apply a write batch: group by owning shard, one invalidation pump each.

@@ -70,6 +70,11 @@ class ClusterMetrics:
         snapshot["replication_factor"] = self._cluster.replication.replication_factor
         for name, value in self.replication_statistics().items():
             snapshot[name] = value
+        # Breaker-state gauges exist only when a resilience layer is
+        # attached, so snapshots of pre-resilience deployments are unchanged.
+        runtime = getattr(self._cluster, "resilience_runtime", None)
+        if runtime is not None:
+            snapshot.update(runtime.breaker_state_counts())
         return snapshot
 
     def replication_statistics(self) -> Dict[str, float]:

@@ -49,6 +49,7 @@ from repro.rest.messages import Response, StatusCode
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (server imports us)
     from repro.core.server import QuaestorServer
+    from repro.resilience import DeadlineBudget
 
 
 @dataclass
@@ -72,6 +73,10 @@ class ReadContext:
     ttl: float = 0.0
     shared_ttl: float = 0.0
     representation: Optional[ResultRepresentation] = None
+    #: Per-request deadline budget propagated from the cluster's scatter
+    #: point (``None`` outside the resilience layer).  Stages may consult the
+    #: remaining budget; an exhausted budget skips the admission probe.
+    deadline: Optional["DeadlineBudget"] = None
 
     @property
     def result_size(self) -> int:
@@ -274,7 +279,7 @@ class ReadPipeline:
         return Response.ok(body, ttl=ctx.ttl, shared_ttl=ctx.shared_ttl, etag=ctx.etag)
 
     def prepare_shard_query(
-        self, query: Query, scatter_query: Optional[Query] = None
+        self, query: Query, scatter_query: Optional[Query] = None, deadline=None
     ) -> "PreparedShardRead":
         """The cluster integration point: execute + probe, defer everything else.
 
@@ -283,14 +288,25 @@ class ReadPipeline:
         cluster merges those regardless of cacheability) and the admission
         probe's verdict; redeem it with exactly one of
         :meth:`~PreparedShardRead.commit` or :meth:`~PreparedShardRead.abort`.
+
+        ``deadline`` is the scatter's shared
+        :class:`~repro.resilience.DeadlineBudget` (``None`` outside the
+        resilience layer).  A shard reached with the budget already spent
+        still answers -- the documents are on hand -- but the admission
+        probe is skipped: a request that is out of time must not start
+        fleet-wide caching bookkeeping its gather point will abort anyway.
         """
         server = self.server
         fetch = scatter_query if scatter_query is not None else query
         ctx = ReadContext.for_query(query, fetch, server.now())
+        ctx.deadline = deadline
         self.execute(ctx)
         body = {"documents": ctx.documents, "record_versions": ctx.versions}
         if server.config.cache_queries:
-            self.probe_admission(ctx)
+            if deadline is not None and deadline.exhausted:
+                server.counters.increment("deadline_skipped_probes")
+            else:
+                self.probe_admission(ctx)
         return PreparedShardRead(self, ctx, body)
 
     def _uncacheable_client_response(self, ctx: ReadContext) -> Response:

@@ -198,7 +198,7 @@ class QuaestorServer:
         return self.pipeline.run_query(query)
 
     def prepare_shard_query(
-        self, query: Query, scatter_query: Optional[Query] = None
+        self, query: Query, scatter_query: Optional[Query] = None, deadline=None
     ) -> PreparedShardRead:
         """Cluster integration point, phase one: execute and *probe* admission.
 
@@ -220,9 +220,15 @@ class QuaestorServer:
             The per-shard fetch window (typically the original query with
             ``limit + offset`` as limit and no offset, so the global window
             can be cut after the merge).  Defaults to ``query`` itself.
+        deadline:
+            Optional :class:`~repro.resilience.DeadlineBudget` propagated
+            from the scatter point; an exhausted budget makes the pipeline
+            skip the admission probe (the shard still answers, but no
+            caching bookkeeping is started for a request that is out of
+            time).
         """
         self.counters.increment("shard_queries")
-        return self.pipeline.prepare_shard_query(query, scatter_query)
+        return self.pipeline.prepare_shard_query(query, scatter_query, deadline=deadline)
 
     def handle_shard_query(self, query: Query, scatter_query: Optional[Query] = None) -> Response:
         """Single-call shard query: :meth:`prepare_shard_query` + commit/abort.

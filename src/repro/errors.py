@@ -65,3 +65,15 @@ class CacheCoherenceError(QuaestorError):
 
 class ConfigurationError(QuaestorError):
     """A component was configured with inconsistent or out-of-range values."""
+
+
+class UnsupportedFaultError(ConfigurationError):
+    """A fault plan cannot be expressed in the requested deployment shape.
+
+    Raised by :meth:`~repro.faults.plan.FaultPlan.split_by_shard` when a
+    plan cannot be partitioned for the parallel simulator -- e.g. a
+    network-partition event linking nodes that live in different
+    partitions, or a target outside the deployment's shard range.  Subclass
+    of :class:`ConfigurationError` so existing validation-oriented callers
+    keep working unchanged.
+    """

@@ -13,12 +13,20 @@ simulator's event queue against a replicated
 :mod:`repro.replication` and recording the availability timeline
 (time-to-recover per outage).
 
+Failures are not only fail-stop: gray actions (``SLOW_SHARD`` latency
+inflation, ``FLAKY_SHARD`` seeded request drops, ``RESTORE``) flow through
+the same injector into the cluster's
+:class:`~repro.faults.gray.GrayFailureState`, so plans can express
+brownouts -- the partial failures the resilience layer
+(:mod:`repro.resilience`) exists to ride out.
+
 Attach a plan to :class:`~repro.simulation.SimulationConfig` via its
 ``fault_plan`` field and any existing figure scenario replays under failures.
 """
 
 from __future__ import annotations
 
+from repro.faults.gray import GrayFailureState
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultAction, FaultEvent, FaultPlan
 
@@ -27,4 +35,5 @@ __all__ = [
     "FaultEvent",
     "FaultPlan",
     "FaultInjector",
+    "GrayFailureState",
 ]

@@ -82,8 +82,24 @@ class FaultInjector:
             self._recover(event)
         elif event.action is FaultAction.PARTITION:
             self._partition(event)
-        else:
+        elif event.action is FaultAction.HEAL:
             self._heal(event)
+        elif event.action is FaultAction.SLOW_SHARD:
+            self.cluster.slow_target(event.target, event.magnitude)
+            self._record("slow_shard", event.target, self._target_shard(event.target))
+        elif event.action is FaultAction.FLAKY_SHARD:
+            self.cluster.flaky_target(event.target, event.magnitude)
+            self._record("flaky_shard", event.target, self._target_shard(event.target))
+        else:
+            self.cluster.restore_target(event.target)
+            self._record("restore", event.target, self._target_shard(event.target))
+
+    @staticmethod
+    def _target_shard(target: str) -> int:
+        """Shard id named by a (validated) plan target string."""
+        if target.startswith("shard:"):
+            return int(target.split(":", 1)[1])
+        return int(target.split(":", 1)[0][1:])
 
     def _crash(self, event: FaultEvent) -> None:
         # Resolve the role fresh on every crash (a second "shard:N" crash

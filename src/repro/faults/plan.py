@@ -13,6 +13,18 @@ Targets are resolved *at fire time*:
   that targets roles, not hosts), and
 * ``"s2:n1"`` -- a specific node by id, whatever its current role.
 
+Target strings are validated *at construction* against those two grammars,
+so a typo fails the moment the plan is built rather than mid-simulation (or
+never, for events that silently miss).
+
+Beyond fail-stop crashes, plans can express *gray* failures: ``SLOW_SHARD``
+inflates a target's latency by ``magnitude`` (a multiplier >= 1),
+``FLAKY_SHARD`` drops a seeded fraction of its requests (``magnitude`` in
+``(0, 1]``), and ``RESTORE`` clears both.  See
+:class:`~repro.faults.gray.GrayFailureState` for the exact drop/inflation
+semantics and :meth:`FaultPlan.brownout` / :meth:`FaultPlan.flaky` for
+canned scenarios.
+
 :meth:`FaultPlan.chaos` generates a plan from a seeded random process
 (exponential crash inter-arrivals, fixed downtime), so "rate-based chaos" is
 still perfectly reproducible: the same seed always yields the same schedule.
@@ -22,10 +34,23 @@ from __future__ import annotations
 
 import enum
 import random
+import re
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, UnsupportedFaultError
+
+#: The injector's two target grammars: role targets and node targets.
+_TARGET_GRAMMAR = re.compile(r"^(?:shard:\d+|s\d+:n\d+)$")
+
+
+def _validate_target(target: str, role: str = "target") -> None:
+    if not isinstance(target, str) or not _TARGET_GRAMMAR.match(target):
+        raise UnsupportedFaultError(
+            f"fault {role} {target!r} is not a valid target: expected "
+            f"'shard:<id>' (role: the shard's current primary) or "
+            f"'s<shard>:n<index>' (a specific node)"
+        )
 
 
 def _route_target(target: str, shards_per_partition: int, total_shards: int) -> tuple:
@@ -43,12 +68,14 @@ def _route_target(target: str, shards_per_partition: int, total_shards: int) -> 
         shard = int(shard_part[1:])
         _check_shard(shard, total_shards, target)
         return shard // shards_per_partition, f"s{shard % shards_per_partition}:{node_part}"
-    raise ConfigurationError(f"cannot route fault target {target!r} to a shard partition")
+    raise UnsupportedFaultError(
+        f"cannot route fault target {target!r} to a shard partition"
+    )
 
 
 def _check_shard(shard: int, total_shards: int, target: str) -> None:
     if not 0 <= shard < total_shards:
-        raise ConfigurationError(
+        raise UnsupportedFaultError(
             f"fault target {target!r} names shard {shard}, outside the deployment's "
             f"{total_shards} shard(s)"
         )
@@ -61,6 +88,13 @@ class FaultAction(str, enum.Enum):
     RECOVER = "recover"
     PARTITION = "partition"
     HEAL = "heal"
+    SLOW_SHARD = "slow_shard"
+    FLAKY_SHARD = "flaky_shard"
+    RESTORE = "restore"
+
+
+#: Gray actions carry a magnitude; fail-stop actions must not.
+_GRAY_ACTIONS = frozenset({FaultAction.SLOW_SHARD, FaultAction.FLAKY_SHARD})
 
 
 @dataclass(frozen=True)
@@ -69,19 +103,47 @@ class FaultEvent:
 
     ``target`` names a node (``"s0:n1"``) or a role (``"shard:0"`` = that
     shard's primary at fire time).  ``peer`` is only used by
-    PARTITION/HEAL, which act on a link between two nodes.
+    PARTITION/HEAL, which act on a link between two nodes.  ``magnitude``
+    is only used by the gray actions: the latency multiplier (>= 1) for
+    SLOW_SHARD, the request-drop probability (in ``(0, 1]``) for
+    FLAKY_SHARD.
     """
 
     time: float
     action: FaultAction
     target: str
     peer: Optional[str] = None
+    magnitude: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.time < 0:
             raise ConfigurationError("fault time must be non-negative")
+        _validate_target(self.target)
+        if self.peer is not None:
+            _validate_target(self.peer, role="peer")
         if self.action in (FaultAction.PARTITION, FaultAction.HEAL) and self.peer is None:
             raise ConfigurationError(f"{self.action.value} requires a peer node")
+        if self.action in _GRAY_ACTIONS:
+            if self.magnitude is None:
+                raise ConfigurationError(f"{self.action.value} requires a magnitude")
+            if self.action is FaultAction.SLOW_SHARD and self.magnitude < 1.0:
+                raise ConfigurationError("slow_shard magnitude is a latency multiplier >= 1")
+            if self.action is FaultAction.FLAKY_SHARD and not 0.0 < self.magnitude <= 1.0:
+                raise ConfigurationError("flaky_shard magnitude is a drop rate in (0, 1]")
+        elif self.magnitude is not None:
+            raise ConfigurationError(f"{self.action.value} does not take a magnitude")
+
+    def describe(self) -> str:
+        """One legible timeline line, e.g. ``t=5.00s slow_shard shard:0 x4``."""
+        parts = [f"t={self.time:.2f}s", self.action.value, self.target]
+        if self.peer is not None:
+            parts.append(f"peer={self.peer}")
+        if self.magnitude is not None:
+            if self.action is FaultAction.SLOW_SHARD:
+                parts.append(f"x{self.magnitude:g}")
+            else:
+                parts.append(f"p={self.magnitude:g}")
+        return " ".join(parts)
 
 
 @dataclass(frozen=True)
@@ -100,6 +162,13 @@ class FaultPlan:
 
     def __bool__(self) -> bool:
         return bool(self.events)
+
+    def __repr__(self) -> str:
+        """The plan's timeline, one event per line -- chaos plans print legibly."""
+        if not self.events:
+            return f"FaultPlan(name={self.name!r}, events=0)"
+        timeline = "\n".join(f"  {event.describe()}" for event in self.events)
+        return f"FaultPlan(name={self.name!r}, events={len(self.events)})\n{timeline}"
 
     # -- shard routing (process-parallel simulation) -----------------------------------
 
@@ -133,13 +202,19 @@ class FaultPlan:
                     event.peer, shards_per_partition, total_shards
                 )
                 if peer_partition != partition:
-                    raise ConfigurationError(
+                    raise UnsupportedFaultError(
                         f"fault event links nodes in different partitions "
                         f"({event.target!r} vs {event.peer!r}); replication links never "
                         f"cross a shard-group boundary in the partitioned model"
                     )
             buckets[partition].append(
-                FaultEvent(event.time, event.action, local_target, peer=local_peer)
+                FaultEvent(
+                    event.time,
+                    event.action,
+                    local_target,
+                    peer=local_peer,
+                    magnitude=event.magnitude,
+                )
             )
         return [
             FaultPlan(events=events, name=f"{self.name}/part{partition}")
@@ -197,6 +272,51 @@ class FaultPlan:
                 FaultEvent(heal_at, FaultAction.HEAL, primary, peer=replica),
             ],
             name=f"replica-partition/shard={shard}",
+        )
+
+    @classmethod
+    def brownout(
+        cls,
+        shard: int = 0,
+        at: float = 5.0,
+        recover_at: float = 25.0,
+        slow_factor: float = 4.0,
+        drop_rate: float = 0.15,
+    ) -> "FaultPlan":
+        """A gray brownout: one shard turns slow *and* mildly flaky, then recovers.
+
+        Models the classic partial failure Quaestor's cached serving is
+        meant to ride out: the shard still answers, but every round-trip
+        inflates by ``slow_factor`` and ``drop_rate`` of requests are lost
+        before admission (so retries -- even write retries -- are safe).
+        """
+        if recover_at <= at:
+            raise ConfigurationError("recover_at must come after the brownout start")
+        target = f"shard:{shard}"
+        events = [FaultEvent(at, FaultAction.SLOW_SHARD, target, magnitude=slow_factor)]
+        if drop_rate > 0:
+            events.append(FaultEvent(at, FaultAction.FLAKY_SHARD, target, magnitude=drop_rate))
+        events.append(FaultEvent(recover_at, FaultAction.RESTORE, target))
+        return cls(events=events, name=f"brownout/shard={shard}")
+
+    @classmethod
+    def flaky(
+        cls,
+        shard: int = 0,
+        at: float = 5.0,
+        recover_at: float = 25.0,
+        drop_rate: float = 0.35,
+    ) -> "FaultPlan":
+        """One shard drops a seeded fraction of requests, then recovers."""
+        if recover_at <= at:
+            raise ConfigurationError("recover_at must come after the flaky window")
+        target = f"shard:{shard}"
+        return cls(
+            events=[
+                FaultEvent(at, FaultAction.FLAKY_SHARD, target, magnitude=drop_rate),
+                FaultEvent(recover_at, FaultAction.RESTORE, target),
+            ],
+            name=f"flaky/shard={shard}",
         )
 
     @classmethod

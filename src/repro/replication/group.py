@@ -114,6 +114,12 @@ class ReplicaGroup:
         self._serving_ids: Optional[List[str]] = None
         #: Promotion history: one record per completed failover.
         self.promotions: List[Dict[str, object]] = []
+        #: Optional per-replica circuit-breaker gate installed by the
+        #: cluster's resilience layer: ``gate(node_id) -> bool`` (may this
+        #: replica take traffic?).  ``None`` -- the default, and the only
+        #: state a deployment without resilience ever sees -- changes
+        #: nothing about candidate selection.
+        self.breaker_gate: Optional[Callable[[str], bool]] = None
         self._unsubscribe = database.subscribe(self._ship)
 
     def _node_id(self, index: int) -> str:
@@ -263,6 +269,11 @@ class ReplicaGroup:
             if not node.alive:
                 continue
             node.deliver_until(now)
+            if self.breaker_gate is not None and not self.breaker_gate(node.node_id):
+                # The resilience layer's per-replica breaker is open for this
+                # node (e.g. it has been dropping acks): route around it.
+                self.counters.increment("breaker_skipped_replicas")
+                continue
             if level is ConsistencyLevel.CAUSAL and not node.caught_up_to(min_timestamp):
                 self.counters.increment("causal_replica_skips")
                 continue

@@ -1,0 +1,46 @@
+"""Resilience layer: deadlines, retries, breakers, hedging, stale-if-error.
+
+The policy objects (:mod:`repro.resilience.policies`) describe *what*
+graceful degradation looks like; the per-cluster
+:class:`~repro.resilience.runtime.ResilienceRuntime` holds the seeded RNG
+substream, circuit breakers and per-request traces that make it happen
+deterministically under the virtual clock.  Attach a
+:class:`ResilienceConfig` to :class:`~repro.simulation.SimulationConfig`
+(field ``resilience``) and the cluster read/write/scatter paths gain
+retry-with-backoff, breaker fast-fails and deadline budgets, while
+:class:`~repro.client.sdk.QuaestorClient` serves Δ-bounded
+``stale-if-error`` results during outages.  With no faults injected the
+layer is pure bookkeeping: zero RNG draws, zero behavior change, pinned
+golden summaries stay value-identical.
+"""
+
+from __future__ import annotations
+
+from repro.resilience.policies import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    BreakerPolicy,
+    CircuitBreaker,
+    DeadlineBudget,
+    HedgePolicy,
+    ResilienceConfig,
+    RetryPolicy,
+    StaleIfErrorPolicy,
+)
+from repro.resilience.runtime import RequestTrace, ResilienceRuntime
+
+__all__ = [
+    "BREAKER_CLOSED",
+    "BREAKER_HALF_OPEN",
+    "BREAKER_OPEN",
+    "BreakerPolicy",
+    "CircuitBreaker",
+    "DeadlineBudget",
+    "HedgePolicy",
+    "RequestTrace",
+    "ResilienceConfig",
+    "ResilienceRuntime",
+    "RetryPolicy",
+    "StaleIfErrorPolicy",
+]

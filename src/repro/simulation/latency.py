@@ -10,6 +10,7 @@ to model jitter.
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass, field
 from typing import Dict, Optional
@@ -28,11 +29,23 @@ REGION_RTT_SECONDS: Dict[str, float] = {
 
 @dataclass
 class LatencyModel:
-    """A latency source: a mean with optional lognormal-style jitter."""
+    """A latency source: a mean with optional jitter around it.
+
+    The default jitter is *Gaussian* (``random.gauss(mean, jitter)``,
+    clamped at ``minimum``) -- symmetric, which is what every pinned golden
+    summary was produced with.  Real network latency is right-skewed, so an
+    opt-in ``distribution="lognormal"`` mode draws from a lognormal with
+    the same mean and standard deviation (moment-matched: for
+    ``cv = jitter/mean``, ``sigma^2 = ln(1 + cv^2)`` and
+    ``mu = ln(mean) - sigma^2/2``), producing the heavy upper tail without
+    moving the average.  The default stays ``"gauss"`` so existing seeded
+    experiments reproduce value-identically.
+    """
 
     mean: float
     jitter: float = 0.0
     minimum: float = 0.0
+    distribution: str = "gauss"
     _rng: random.Random = field(default_factory=lambda: random.Random(17), repr=False)
 
     def __post_init__(self) -> None:
@@ -42,12 +55,22 @@ class LatencyModel:
             raise ValueError("jitter must be non-negative")
         if self.minimum < 0:
             raise ValueError("minimum must be non-negative")
+        if self.distribution not in ("gauss", "lognormal"):
+            raise ValueError(f"unknown latency distribution {self.distribution!r}")
+        if self.distribution == "lognormal" and self.jitter > 0 and self.mean <= 0:
+            raise ValueError("lognormal jitter requires a positive mean")
 
     def sample(self) -> float:
         """Draw one latency sample (mean when jitter is zero)."""
         if self.jitter == 0.0:
             return max(self.minimum, self.mean)
-        value = self._rng.gauss(self.mean, self.jitter)
+        if self.distribution == "lognormal":
+            cv_squared = (self.jitter / self.mean) ** 2
+            sigma_squared = math.log(1.0 + cv_squared)
+            mu = math.log(self.mean) - sigma_squared / 2.0
+            value = self._rng.lognormvariate(mu, math.sqrt(sigma_squared))
+        else:
+            value = self._rng.gauss(self.mean, self.jitter)
         return max(self.minimum, value)
 
     def reseed(self, seed: int) -> None:

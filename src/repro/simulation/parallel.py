@@ -404,6 +404,22 @@ def merge_outcomes(
             if recovery_times:
                 summary["mean_time_to_recover_s"] = sum(recovery_times) / len(recovery_times)
                 summary["max_time_to_recover_s"] = max(recovery_times)
+        # Resilience counters are plain sums over partitions; the key set is
+        # gated on the per-partition summaries so merged summaries of runs
+        # without a resilience layer are unchanged.
+        if any("resilience_retries" in outcome.summary for outcome in ordered):
+            for key in (
+                "resilience_retries",
+                "resilience_retry_successes",
+                "breaker_fast_fails",
+                "stale_if_error_serves",
+                "hedged_reads",
+                "hedge_wins",
+                "degraded_served",
+            ):
+                summary[key] = float(
+                    sum(outcome.summary.get(key, 0.0) for outcome in ordered)
+                )
 
     return ParallelSimulationResult(
         mode=mode,

@@ -26,7 +26,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 from repro import perf
 from repro.caching.invalidation import InvalidationCache
 from repro.clock import VirtualClock
-from repro.client.sdk import ERROR_LEVEL, QuaestorClient, SESSION_LEVEL
+from repro.client.sdk import DEGRADED_LEVEL, ERROR_LEVEL, QuaestorClient, SESSION_LEVEL
 from repro.core.config import QuaestorConfig
 from repro.core.server import QuaestorServer
 from repro.db.database import Database
@@ -34,6 +34,7 @@ from repro.errors import ConfigurationError
 from repro.invalidb.cluster import InvaliDBCluster
 from repro.metrics.counters import Counter
 from repro.metrics.histogram import Histogram
+from repro.resilience import ResilienceConfig
 from repro.simulation.event_queue import EventQueue
 from repro.simulation.latency import NetworkTopology
 from repro.simulation.staleness import StalenessAuditor
@@ -126,6 +127,12 @@ class SimulationConfig:
     #: ``workload`` spec.  The TTL bake-off's drifting and bursty write
     #: processes are built from this.
     workload_phases: Optional[Tuple[Tuple[int, WorkloadSpec], ...]] = None
+    #: Optional resilience layer (:class:`repro.resilience.ResilienceConfig`):
+    #: per-shard/per-replica circuit breakers, deadline-bounded retries with
+    #: seeded jittered backoff, hedged origin reads and stale-if-error
+    #: degraded serving.  ``None`` (and a disabled config) keeps every hot
+    #: path byte-identical to a run from before the resilience layer.
+    resilience: Optional[ResilienceConfig] = None
 
     def __post_init__(self) -> None:
         if self.num_clients <= 0 or self.connections_per_client <= 0:
@@ -260,6 +267,8 @@ class Simulator:
                 auditor=self.auditor,
                 dataset=self.dataset,
                 replication=replication,
+                resilience=config.resilience,
+                gray_seed=config.seed,
             )
             self.database: Optional[Database] = None
             self.server = ClusterClient(self.cluster)
@@ -307,6 +316,7 @@ class Simulator:
                 use_client_cache=config.mode.uses_client_cache,
                 use_ebf=config.mode.uses_ebf,
                 name=f"client-{index}",
+                resilience=config.resilience,
             )
             if config.mode.uses_ebf:
                 client.connect()
@@ -344,6 +354,8 @@ class Simulator:
             "write": Counter(),
         }
         self._stale_counts = Counter()
+        self._hedged_reads = 0
+        self._hedge_wins = 0
         self._measured_operations = 0
         self._total_operations = 0
         self._warmup_operations = int(config.warmup_fraction * config.max_operations)
@@ -499,10 +511,14 @@ class Simulator:
                 and etag is not None
                 and (op_class == "read" or op_class == "query")
             ):
-                audit = self.auditor.audit_read(key, etag, start_time)
+                audit = self.auditor.audit_read(
+                    key, etag, start_time, degraded=(level == DEGRADED_LEVEL)
+                )
                 stale_counts = self._stale_counts
                 if audit.stale:
                     stale_counts.increment("stale_read" if op_class == "read" else "stale_query")
+                if audit.degraded:
+                    stale_counts.increment("degraded_served")
                 stale_counts.increment(
                     "audited_read" if op_class == "read" else "audited_query"
                 )
@@ -519,11 +535,13 @@ class Simulator:
             latency = self._read_path_latency(result.level, result.key)
             for extra_level in result.extra_levels:
                 latency += self._read_path_latency(extra_level, None)
+            latency = self._drain_resilience(latency, result.level)
             return latency, "query", result.key, result.etag, result.level
 
         if operation.type == OperationType.READ:
             result = client.read(operation.collection, operation.document_id)
             latency = self._read_path_latency(result.level, result.key)
+            latency = self._drain_resilience(latency, result.level)
             return latency, "read", result.key, result.etag, result.level
 
         # Writes always travel to the origin (the owning shard's primary) and
@@ -538,21 +556,129 @@ class Simulator:
         if result.level == ERROR_LEVEL:
             # The primary is down: the write failed after a wide-area round
             # trip and consumed no origin capacity.
-            return topology.write_latency(), "write", result.key, None, ERROR_LEVEL
+            latency = self._drain_resilience(topology.write_latency(), ERROR_LEVEL)
+            return latency, "write", result.key, None, ERROR_LEVEL
         latency = topology.write_latency() + self._origin_wait(write_token)
+        latency = self._gray_write_latency(latency, operation)
+        latency = self._drain_resilience(latency, "origin")
         return latency, "write", result.key, None, "origin"
 
     def _read_path_latency(self, level: str, key: Optional[str]) -> float:
         """Latency of a read/query answered at ``level`` plus origin queueing."""
         if level == SESSION_LEVEL:
             return 0.0
-        if level == ERROR_LEVEL:
+        if level == ERROR_LEVEL or level == DEGRADED_LEVEL:
             # A failed request still pays the round trip that discovered the
-            # outage, but no server processed it.
+            # outage, but no server processed it.  A stale-if-error serve
+            # pays the same discovery round trip before falling back to the
+            # expired cache entry.
             return self.config.topology.origin_round_trip.sample()
         latency = self.config.topology.read_latency(level)
         if level == "origin":
             latency += self._origin_wait_for_key(key)
+            latency = self._gray_origin_latency(latency, key)
+        return latency
+
+    def _gray_origin_latency(self, latency: float, key: Optional[str]) -> float:
+        """Inflate an origin-served latency by the serving node's gray slow
+        factor, and price a hedged read when one would have fired.
+
+        Inert (returns ``latency`` unchanged, zero RNG draws) unless a gray
+        slow/flaky condition is currently active on the cluster, so seeded
+        no-fault runs are untouched.  Record reads inflate by the factor of
+        the node that actually served them and may hedge to the next serving
+        replica; scatter queries complete when the slowest live primary
+        answers, so the worst primary factor applies (hedging per-shard
+        sub-queries is not modelled).
+        """
+        cluster = self.cluster
+        if cluster is None or not cluster.gray.active:
+            return latency
+        gray = cluster.gray
+        if key is not None and key.startswith("record:"):
+            shard_id = cluster.router.shard_for_key(key)
+            group = cluster.groups[shard_id]
+            factor = gray.slow_factor(shard_id, group.last_served_node_id)
+            if factor <= 1.0:
+                return latency
+            return self._maybe_hedge(latency * factor, group)
+        factor = 1.0
+        for group in cluster.groups:
+            if group.primary_alive:
+                node_factor = gray.slow_factor(group.shard_id, group.primary_node_id)
+                if node_factor > factor:
+                    factor = node_factor
+        return latency * factor if factor > 1.0 else latency
+
+    def _maybe_hedge(self, latency: float, group) -> float:
+        """Price a hedged read: a second copy to the next serving replica.
+
+        The hedge fires after the policy's analytic p-quantile delay; the
+        faster of the slowed original and ``delay + alternative replica's
+        latency`` wins.  Only reached when a gray slow factor is inflating
+        ``group``'s reads, so the extra latency-model draw cannot perturb
+        clean runs.
+        """
+        runtime = self.cluster.resilience_runtime
+        if runtime is None or runtime.config.hedge is None:
+            return latency
+        serving = group.serving_node_ids()
+        if len(serving) < 2:
+            return latency
+        rtt = self.config.topology.origin_round_trip
+        delay = runtime.config.hedge.delay(rtt)
+        if latency <= delay:
+            return latency
+        try:
+            index = serving.index(group.last_served_node_id)
+        except ValueError:
+            index = 0
+        alt_node = serving[(index + 1) % len(serving)]
+        alt_factor = self.cluster.gray.slow_factor(group.shard_id, alt_node)
+        alt_latency = delay + self.config.topology.read_latency("origin") * alt_factor
+        self._hedged_reads += 1
+        runtime.trace.hedged = True
+        if alt_latency < latency:
+            self._hedge_wins += 1
+            return alt_latency
+        return latency
+
+    def _gray_write_latency(self, latency: float, operation: Operation) -> float:
+        """Inflate a write's latency by the owning primary's gray slow factor."""
+        cluster = self.cluster
+        if cluster is None or not cluster.gray.active:
+            return latency
+        shard_id = cluster.router.shard_for_operation(operation)
+        group = cluster.groups[shard_id]
+        factor = cluster.gray.slow_factor(shard_id, group.primary_node_id)
+        return latency * factor if factor > 1.0 else latency
+
+    def _drain_resilience(self, latency: float, level: str) -> float:
+        """Convert the cluster's per-request resilience trace into latency.
+
+        Each retry round trip pays a fresh origin round-trip sample, backoff
+        waits are added verbatim, and a request the breaker rejected before
+        any network attempt costs nothing at all (the fast-fail is the whole
+        point of the breaker).  No-op -- zero draws, zero float ops -- when
+        the trace is empty, which it always is on no-fault runs.
+        """
+        cluster = self.cluster
+        if cluster is None or cluster.resilience_runtime is None:
+            return latency
+        trace = cluster.resilience_runtime.take_trace()
+        if trace.empty:
+            return latency
+        if (
+            trace.fast_failed
+            and trace.extra_round_trips == 0
+            and (level == ERROR_LEVEL or level == DEGRADED_LEVEL)
+        ):
+            latency = 0.0
+        latency += trace.backoff_s
+        if trace.extra_round_trips:
+            rtt = self.config.topology.origin_round_trip
+            for _ in range(trace.extra_round_trips):
+                latency += rtt.sample()
         return latency
 
     def _write_token(self, operation: Operation) -> object:
@@ -667,6 +793,41 @@ class Simulator:
             }
             if self.fault_injector is not None:
                 replication.update(self.fault_injector.summary())
+            if self.config.resilience is not None:
+                # Resilience keys ride on the availability block (they only
+                # mean anything under faults), gated on the config so pinned
+                # replication summaries from before the layer are unchanged.
+                stats = server_statistics
+                retries = (
+                    stats.get("cluster_read_retries", 0.0)
+                    + stats.get("cluster_query_retries", 0.0)
+                    + stats.get("cluster_write_retries", 0.0)
+                )
+                retry_successes = (
+                    stats.get("cluster_read_retry_successes", 0.0)
+                    + stats.get("cluster_query_retry_successes", 0.0)
+                    + stats.get("cluster_write_retry_successes", 0.0)
+                )
+                replication.update(
+                    {
+                        "resilience_retries": float(retries),
+                        "resilience_retry_successes": float(retry_successes),
+                        "breaker_fast_fails": float(
+                            stats.get("cluster_breaker_fast_fails", 0.0)
+                        ),
+                        "stale_if_error_serves": float(
+                            sum(
+                                client.counters.get("stale_if_error_serves")
+                                for client in self.clients
+                            )
+                        ),
+                        "hedged_reads": float(self._hedged_reads),
+                        "hedge_wins": float(self._hedge_wins),
+                        "degraded_served": float(
+                            self._stale_counts.get("degraded_served")
+                        ),
+                    }
+                )
 
         return SimulationResult(
             mode=self.config.mode,

@@ -26,6 +26,12 @@ class ReadAudit:
     expected_version: Optional[str] = None
     #: Version the read actually returned.
     observed_version: Optional[str] = None
+    #: True when the read was served in degraded mode (stale-if-error): the
+    #: client *knew* the entry was expired and surfaced it only because the
+    #: authoritative path was unavailable.  Kept distinct from ``stale`` --
+    #: a degraded serve of content that was never superseded is not a
+    #: consistency violation, merely an availability concession.
+    degraded: bool = False
 
 
 class StalenessAuditor:
@@ -36,6 +42,7 @@ class StalenessAuditor:
         self._history: Dict[str, List[Tuple[float, str]]] = {}
         self.reads_audited = 0
         self.stale_reads = 0
+        self.degraded_reads = 0
         self._staleness_samples: List[float] = []
 
     # -- write side ----------------------------------------------------------------
@@ -64,20 +71,32 @@ class StalenessAuditor:
 
     # -- read side -------------------------------------------------------------------
 
-    def audit_read(self, key: str, observed_version: Optional[str], read_time: float) -> ReadAudit:
+    def audit_read(
+        self,
+        key: str,
+        observed_version: Optional[str],
+        read_time: float,
+        degraded: bool = False,
+    ) -> ReadAudit:
         """Audit one read: was the observed version already superseded?
 
         ``observed_version`` is the Etag/version token of the data the client
         actually received; ``read_time`` is the instant the read started (the
-        strictest interpretation for linearizability).
+        strictest interpretation for linearizability).  ``degraded`` marks a
+        stale-if-error serve: it is recorded on the audit (and counted), and
+        its staleness -- measured exactly like any other read's -- checks the
+        degraded path against the configured Δ budget.
         """
         self.reads_audited += 1
+        if degraded:
+            self.degraded_reads += 1
         history = self._history.get(key, [])
         expected = self.current_version(key, read_time)
 
         if observed_version is None or not history:
             return ReadAudit(key=key, read_time=read_time, stale=False,
-                             expected_version=expected, observed_version=observed_version)
+                             expected_version=expected, observed_version=observed_version,
+                             degraded=degraded)
 
         # Find when the observed version was superseded (if it ever was).
         # Content can return to an earlier state (ABA: a query result reverts
@@ -101,15 +120,18 @@ class StalenessAuditor:
                 # The observed state only became authoritative after the read
                 # started (in-flight write); such a read is not stale.
                 return ReadAudit(key=key, read_time=read_time, stale=False,
-                                 expected_version=expected, observed_version=observed_version)
+                                 expected_version=expected, observed_version=observed_version,
+                                 degraded=degraded)
             # Unknown version (e.g. produced before auditing started): treat
             # as fresh rather than guessing.
             return ReadAudit(key=key, read_time=read_time, stale=False,
-                             expected_version=expected, observed_version=observed_version)
+                             expected_version=expected, observed_version=observed_version,
+                             degraded=degraded)
 
         if superseded_at is None or superseded_at > read_time:
             return ReadAudit(key=key, read_time=read_time, stale=False,
-                             expected_version=expected, observed_version=observed_version)
+                             expected_version=expected, observed_version=observed_version,
+                             degraded=degraded)
 
         staleness = read_time - superseded_at
         self.stale_reads += 1
@@ -121,6 +143,7 @@ class StalenessAuditor:
             staleness=staleness,
             expected_version=expected,
             observed_version=observed_version,
+            degraded=degraded,
         )
 
     # -- aggregate statistics -----------------------------------------------------------
@@ -150,6 +173,7 @@ class StalenessAuditor:
         """Reset audit counters while keeping the version history."""
         self.reads_audited = 0
         self.stale_reads = 0
+        self.degraded_reads = 0
         self._staleness_samples.clear()
 
     def __repr__(self) -> str:

@@ -1,0 +1,151 @@
+"""Construction-time fault-plan validation and the legible repr timeline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, UnsupportedFaultError
+from repro.faults import FaultAction, FaultEvent, FaultPlan
+
+
+class TestTargetGrammar:
+    @pytest.mark.parametrize("target", ("shard:0", "shard:12", "s0:n0", "s3:n11"))
+    def test_valid_targets(self, target):
+        FaultEvent(1.0, FaultAction.CRASH, target)  # does not raise
+
+    @pytest.mark.parametrize(
+        "target",
+        ("", "shard", "shard:", "shard:x", "shard:-1", "s0", "s0:n", "n0:s0",
+         "s0:n0:x", "node-3", "Shard:0", " shard:0"),
+    )
+    def test_malformed_targets_fail_at_construction(self, target):
+        with pytest.raises(UnsupportedFaultError):
+            FaultEvent(1.0, FaultAction.CRASH, target)
+
+    def test_malformed_peer_fails_at_construction(self):
+        with pytest.raises(UnsupportedFaultError):
+            FaultEvent(1.0, FaultAction.PARTITION, "s0:n0", peer="bogus")
+
+    def test_unsupported_fault_error_is_a_configuration_error(self):
+        # Existing except ConfigurationError sites keep catching it.
+        assert issubclass(UnsupportedFaultError, ConfigurationError)
+
+
+class TestEventValidation:
+    def test_negative_time_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultEvent(-0.1, FaultAction.CRASH, "shard:0")
+
+    def test_partition_requires_a_peer(self):
+        with pytest.raises(ConfigurationError):
+            FaultEvent(1.0, FaultAction.PARTITION, "s0:n0")
+
+    def test_gray_actions_require_a_magnitude(self):
+        with pytest.raises(ConfigurationError):
+            FaultEvent(1.0, FaultAction.SLOW_SHARD, "shard:0")
+        with pytest.raises(ConfigurationError):
+            FaultEvent(1.0, FaultAction.FLAKY_SHARD, "shard:0")
+
+    def test_gray_magnitude_bounds(self):
+        with pytest.raises(ConfigurationError):
+            FaultEvent(1.0, FaultAction.SLOW_SHARD, "shard:0", magnitude=0.9)
+        with pytest.raises(ConfigurationError):
+            FaultEvent(1.0, FaultAction.FLAKY_SHARD, "shard:0", magnitude=0.0)
+        with pytest.raises(ConfigurationError):
+            FaultEvent(1.0, FaultAction.FLAKY_SHARD, "shard:0", magnitude=1.5)
+        FaultEvent(1.0, FaultAction.SLOW_SHARD, "shard:0", magnitude=1.0)
+        FaultEvent(1.0, FaultAction.FLAKY_SHARD, "shard:0", magnitude=1.0)
+
+    def test_non_gray_actions_must_not_carry_a_magnitude(self):
+        with pytest.raises(ConfigurationError):
+            FaultEvent(1.0, FaultAction.CRASH, "shard:0", magnitude=2.0)
+        with pytest.raises(ConfigurationError):
+            FaultEvent(1.0, FaultAction.RESTORE, "shard:0", magnitude=2.0)
+
+
+class TestReprTimeline:
+    def test_repr_prints_one_legible_line_per_event(self):
+        plan = FaultPlan(
+            events=[
+                FaultEvent(5.0, FaultAction.SLOW_SHARD, "shard:0", magnitude=4.0),
+                FaultEvent(7.5, FaultAction.FLAKY_SHARD, "shard:1", magnitude=0.25),
+                FaultEvent(10.0, FaultAction.PARTITION, "s0:n0", peer="s0:n1"),
+                FaultEvent(25.0, FaultAction.RESTORE, "shard:0"),
+            ],
+            name="demo",
+        )
+        text = repr(plan)
+        assert "FaultPlan(name='demo', events=4)" in text
+        assert "t=5.00s slow_shard shard:0 x4" in text
+        assert "t=7.50s flaky_shard shard:1 p=0.25" in text
+        assert "t=10.00s partition s0:n0 peer=s0:n1" in text
+        assert "t=25.00s restore shard:0" in text
+        # One line per event, in time order.
+        lines = text.splitlines()
+        assert len(lines) == 5
+        assert lines[1].strip().startswith("t=5.00s")
+
+    def test_empty_plan_repr(self):
+        assert repr(FaultPlan(name="empty")) == "FaultPlan(name='empty', events=0)"
+
+    def test_events_sort_by_time_at_construction(self):
+        plan = FaultPlan(
+            events=[
+                FaultEvent(9.0, FaultAction.RECOVER, "shard:0"),
+                FaultEvent(1.0, FaultAction.CRASH, "shard:0"),
+            ]
+        )
+        assert [event.time for event in plan.events] == [1.0, 9.0]
+
+
+class TestBuilders:
+    def test_brownout_builder_timeline(self):
+        plan = FaultPlan.brownout(shard=1, at=2.0, recover_at=8.0, slow_factor=3.0, drop_rate=0.2)
+        assert plan.name == "brownout/shard=1"
+        actions = [event.action for event in plan.events]
+        assert actions == [FaultAction.SLOW_SHARD, FaultAction.FLAKY_SHARD, FaultAction.RESTORE]
+        assert all(event.target == "shard:1" for event in plan.events)
+        assert plan.events[0].magnitude == pytest.approx(3.0)
+        assert plan.events[-1].time == pytest.approx(8.0)
+
+    def test_brownout_without_drops_skips_the_flaky_event(self):
+        plan = FaultPlan.brownout(drop_rate=0.0)
+        assert [event.action for event in plan.events] == [
+            FaultAction.SLOW_SHARD,
+            FaultAction.RESTORE,
+        ]
+
+    def test_flaky_builder(self):
+        plan = FaultPlan.flaky(shard=0, at=1.0, recover_at=4.0, drop_rate=0.5)
+        assert plan.name == "flaky/shard=0"
+        assert [event.action for event in plan.events] == [
+            FaultAction.FLAKY_SHARD,
+            FaultAction.RESTORE,
+        ]
+
+    def test_builders_validate_the_window(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan.brownout(at=5.0, recover_at=5.0)
+        with pytest.raises(ConfigurationError):
+            FaultPlan.flaky(at=5.0, recover_at=2.0)
+
+
+class TestSplitByShard:
+    def test_gray_events_route_with_their_magnitude(self):
+        plan = FaultPlan(
+            events=[
+                FaultEvent(1.0, FaultAction.SLOW_SHARD, "shard:0", magnitude=4.0),
+                FaultEvent(1.0, FaultAction.FLAKY_SHARD, "shard:1", magnitude=0.3),
+                FaultEvent(2.0, FaultAction.RESTORE, "shard:1"),
+            ]
+        )
+        first, second = plan.split_by_shard(2, 1)
+        assert [event.action for event in first.events] == [FaultAction.SLOW_SHARD]
+        assert first.events[0].magnitude == pytest.approx(4.0)
+        assert [event.action for event in second.events] == [
+            FaultAction.FLAKY_SHARD,
+            FaultAction.RESTORE,
+        ]
+        # Targets are rewritten into local shard numbering.
+        assert second.events[0].target == "shard:0"
+        assert second.events[0].magnitude == pytest.approx(0.3)

@@ -73,6 +73,37 @@ class TestOracleParity:
         # after the operation budget is exhausted, so >= both crashes).
         assert oracle.summary()["faults_injected"] >= 2.0
 
+    def test_parity_with_gray_failure_plan_and_resilience(self):
+        """Gray slow/flaky events + the resilience layer stay in byte parity.
+
+        Partitioned-serial and partitioned-parallel runs execute identical
+        sub-configs, so the per-partition gray RNG substreams (seeded by
+        rewritten target strings) and retry jitter draws line up exactly.
+        """
+        from repro.resilience import ResilienceConfig
+
+        plan = FaultPlan(
+            events=[
+                FaultEvent(0.02, FaultAction.SLOW_SHARD, "shard:0", magnitude=4.0),
+                FaultEvent(0.03, FaultAction.FLAKY_SHARD, "shard:1", magnitude=0.3),
+                FaultEvent(0.04, FaultAction.SLOW_SHARD, "s1:n1", magnitude=6.0),
+                FaultEvent(0.25, FaultAction.RESTORE, "shard:0"),
+                FaultEvent(0.26, FaultAction.RESTORE, "shard:1"),
+                FaultEvent(0.27, FaultAction.RESTORE, "s1:n1"),
+            ],
+            name="gray-parity",
+        )
+        config = replace(
+            parity_config(CachingMode.QUAESTOR, replication_factor=3),
+            fault_plan=plan,
+            resilience=ResilienceConfig(),
+        )
+        oracle = serial_oracle(config, num_partitions=2)
+        parallel = ParallelSimulator(config, num_partitions=2, num_workers=2).run()
+        assert canonical(parallel.summary()) == canonical(oracle.summary())
+        # The gray window actually exercised the resilience layer.
+        assert oracle.summary()["resilience_retries"] > 0
+
     def test_run_parity_harness_reports_all_match(self):
         report = run_parity_harness(
             modes=(CachingMode.QUAESTOR,),
