@@ -36,6 +36,14 @@
 #                                  scenario or staleness escapes the Δ budget)
 #   make chaos-smoke     - seeded gray-failure scenarios (brownout/flaky/hedge)
 #                          must stay deterministic and keep their wins
+#   make verify-consistency       - full consistency audit: record histories for
+#                                   the chaos x RF x consistency scenario matrix,
+#                                   run the Δ-atomicity/session-guarantee checkers
+#                                   (zero violations required) and the mutation
+#                                   self-test (every injected breach detected),
+#                                   then the slow_chaos pytest cells
+#   make verify-consistency-smoke - one representative scenario per fault
+#                                   archetype; the quick CI gate
 #   make docs-check      - fail if README.md or docs/ reference missing modules/files
 
 PYTHON ?= python
@@ -54,7 +62,7 @@ GATED_BENCH := \
 
 BENCH_FILES := $(filter-out $(GATED_BENCH),$(wildcard benchmarks/bench_*.py))
 
-.PHONY: test bench-smoke bench bench-hotpaths bench-hotpaths-check bench-sim bench-sim-check bench-sim-parallel bench-sim-parallel-check sim-parallel-smoke bench-replication bench-replication-check bench-ttl bench-ttl-check bench-resilience bench-resilience-check smoke-failover chaos-smoke docs-check
+.PHONY: test bench-smoke bench bench-hotpaths bench-hotpaths-check bench-sim bench-sim-check bench-sim-parallel bench-sim-parallel-check sim-parallel-smoke bench-replication bench-replication-check bench-ttl bench-ttl-check bench-resilience bench-resilience-check smoke-failover chaos-smoke verify-consistency verify-consistency-smoke docs-check
 
 test:
 	$(PYTEST) -x -q
@@ -109,6 +117,13 @@ smoke-failover:
 
 chaos-smoke:
 	$(PYTEST) tests/resilience/test_chaos_smoke.py -q
+
+verify-consistency:
+	PYTHONPATH=src $(PYTHON) -m repro.verify
+	$(PYTEST) -m slow_chaos -q
+
+verify-consistency-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.verify --smoke
 
 docs-check:
 	$(PYTHON) scripts/docs_check.py

@@ -51,6 +51,7 @@ REQUIRED_MODULES = (
     "repro.simulation.parallel",
     "repro.ttl",
     "repro.ttl.bakeoff",
+    "repro.verify",
     "repro.workloads",
 )
 

@@ -178,6 +178,16 @@ class QuaestorClient:
     def now(self) -> float:
         return self._clock.now()
 
+    @property
+    def causal_frontier(self) -> float:
+        """Timestamp of the newest primary state this session observed/wrote.
+
+        Exposed read-only for the consistency-history recorder: the
+        causal-frontier checker asserts it is monotone per session and
+        never advanced by a degraded (stale-if-error / partial) serve.
+        """
+        return self._causal_frontier
+
     # -- reads -------------------------------------------------------------------------------
 
     def read(
@@ -284,6 +294,7 @@ class QuaestorClient:
             etag=result.etag,
             revalidated=result.revalidated,
             extra_levels=extra_levels,
+            degraded=degraded,
         )
         if refresh_due:
             # Refresh before whitelisting so the revalidated result stays

@@ -57,7 +57,10 @@ code path.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.verify.history import HistoryRecorder
 
 from repro.bloom.bloom_filter import BloomFilter
 from repro.clock import Clock, VirtualClock
@@ -137,6 +140,7 @@ class QuaestorCluster:
         replication: Optional[ReplicationConfig] = None,
         resilience: Optional[ResilienceConfig] = None,
         gray_seed: int = 0,
+        history: Optional["HistoryRecorder"] = None,
     ) -> None:
         if num_shards <= 0:
             raise ValueError("num_shards must be positive")
@@ -144,6 +148,9 @@ class QuaestorCluster:
         self.config = config if config is not None else QuaestorConfig()
         self.router = ShardRouter(num_shards, replicas=replicas)
         self.auditor = auditor if auditor is not None else StalenessAuditor()
+        #: Shared history recorder (like the auditor, installs are global);
+        #: threaded into every shard server, including failover promotions.
+        self.history = history
         self.counters = Counter()
         self.replication = replication if replication is not None else ReplicationConfig()
         self._matching_nodes = matching_nodes
@@ -169,6 +176,7 @@ class QuaestorCluster:
                     config=self.config,
                     invalidb=InvaliDBCluster(matching_nodes=matching_nodes),
                     auditor=self.auditor,
+                    history=self.history,
                 ),
             )
             for shard_id, database in enumerate(databases)
@@ -227,6 +235,7 @@ class QuaestorCluster:
             ttl_estimator=ttl_estimator,
             ebf=ebf,
             auditor=self.auditor,
+            history=self.history,
         )
 
     # -- construction helpers ---------------------------------------------------------
@@ -253,6 +262,17 @@ class QuaestorCluster:
     def shard_for_record(self, collection: str, document_id: str) -> QuaestorShard:
         """The shard owning ``collection/document_id``."""
         return self.shards[self.router.shard_for_record(collection, document_id)]
+
+    def record_authoritative(self, key: str, token: str, timestamp: float) -> None:
+        """Record a cluster-level authoritative install (scatter merges).
+
+        Mirrors :meth:`QuaestorServer.record_authoritative`: the shared
+        auditor and (when attached) the offline history recorder see the
+        same timeline.
+        """
+        self.auditor.record_version(key, token, timestamp)
+        if self.history is not None:
+            self.history.record_install(key, token, timestamp)
 
     # -- fleet-wide wiring --------------------------------------------------------------
 
@@ -612,7 +632,7 @@ class QuaestorCluster:
             return Response.uncacheable(body)
 
         etag = etag_for_result(window_versions)
-        self.auditor.record_version(query.cache_key, etag, now)
+        self.record_authoritative(query.cache_key, etag, now)
 
         # Min-TTL wins: the merged entry may only live as long as every shard
         # sub-result vouches for.  One uncacheable sub-result (capacity

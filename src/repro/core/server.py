@@ -49,6 +49,7 @@ from typing import TYPE_CHECKING, Any, Callable, Dict, Iterator, List, Optional,
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from repro.core.consistency import ConsistencyLevel
+    from repro.verify.history import HistoryRecorder
 
 from repro.bloom.bloom_filter import BloomFilter
 from repro.bloom.expiring import ExpiringBloomFilter
@@ -93,6 +94,7 @@ class QuaestorServer:
         ttl_estimator: Optional[TTLEstimator] = None,
         ebf: Optional[ExpiringBloomFilter] = None,
         auditor: Optional["StalenessAuditor"] = None,
+        history: Optional["HistoryRecorder"] = None,
     ) -> None:
         self.database = database
         self.config = config if config is not None else QuaestorConfig()
@@ -127,6 +129,9 @@ class QuaestorServer:
         from repro.simulation.staleness import StalenessAuditor
 
         self.auditor = auditor if auditor is not None else StalenessAuditor()
+        #: Optional history recorder mirroring every authoritative version
+        #: install for offline consistency checking (:mod:`repro.verify`).
+        self.history = history
         self.counters = Counter()
         self.pipeline = ReadPipeline(self)
 
@@ -146,6 +151,19 @@ class QuaestorServer:
 
     def now(self) -> float:
         return self._clock.now()
+
+    def record_authoritative(self, key: str, token: str, timestamp: float) -> None:
+        """Record that ``key``'s authoritative content became ``token``.
+
+        Single chokepoint for every install site (write stream, query
+        fingerprints, invalidation markers): feeds both the online
+        :class:`StalenessAuditor` and, when attached, the offline history
+        recorder -- so the Δ-atomicity checker scores reads against
+        exactly the timeline the auditor uses.
+        """
+        self.auditor.record_version(key, token, timestamp)
+        if self.history is not None:
+            self.history.record_install(key, token, timestamp)
 
     def register_purge_target(self, target: PurgeTarget) -> None:
         """Register an invalidation-based cache (or purge callback) to purge."""
@@ -336,7 +354,7 @@ class QuaestorServer:
                 event.document_id,
                 self._safe_version(event.collection, event.document_id),
             )
-        self.auditor.record_version(key, version_token, event.timestamp)
+        self.record_authoritative(key, version_token, event.timestamp)
 
         # The record itself becomes stale in all caches holding it.
         self._invalidate_key(key, event.timestamp)
@@ -372,7 +390,7 @@ class QuaestorServer:
                 query_key, actual_ttl, notification.timestamp
             )
         self.capacity.record_invalidation(query_key)
-        self.auditor.record_version(
+        self.record_authoritative(
             query_key, f"invalidated@{notification.timestamp:.6f}", notification.timestamp
         )
         self._invalidate_key(query_key, notification.timestamp)

@@ -154,7 +154,17 @@ class FaultPlan:
     name: str = "custom"
 
     def __post_init__(self) -> None:
-        ordered = tuple(sorted(self.events, key=lambda event: event.time))
+        # Ties sort stably by (time, target, action): events at the same
+        # instant get one canonical order regardless of construction order,
+        # so seeded plans diff cleanly in violation reports.  Same-time gray
+        # events commute (the injector applies both before any request runs),
+        # making the canonicalisation behaviour-neutral.
+        ordered = tuple(
+            sorted(
+                self.events,
+                key=lambda event: (event.time, event.target, event.action.value),
+            )
+        )
         object.__setattr__(self, "events", ordered)
 
     def __len__(self) -> int:

@@ -226,6 +226,10 @@ class PartitionOutcome:
     recovery_times: Tuple[float, ...]
     #: The partition's own flat summary (diagnostics / drill-down).
     summary: Dict[str, float]
+    #: Recorded consistency history as flat picklable rows
+    #: (:meth:`Simulator.history_tuples`); empty unless the config set
+    #: ``record_history``.
+    history: Tuple[tuple, ...] = ()
 
 
 def extract_outcome(
@@ -262,6 +266,7 @@ def extract_outcome(
         faults_injected=injector.faults_fired if injector is not None else 0,
         recovery_times=tuple(injector.recovery_times()) if injector is not None else (),
         summary=result.summary(),
+        history=simulator.history_tuples(),
     )
 
 
@@ -293,11 +298,22 @@ class ParallelSimulationResult:
     #: finished)`` progress reports, sorted by partition id.  Worker-count
     #: invariant (pinned by tests); empty for the serial oracle.
     barrier_trace: Tuple[tuple, ...] = ()
+    #: Partition histories concatenated in partition-id order with globally
+    #: renumbered sequence numbers: worker-count invariant, and identical to
+    #: the serial oracle's merge by construction.  Empty unless the config
+    #: set ``record_history``.
+    history: Tuple[tuple, ...] = ()
     _summary: Dict[str, float] = field(default_factory=dict)
 
     def summary(self) -> Dict[str, float]:
         """Merged flat summary; same keys as the serial simulator's."""
         return dict(self._summary)
+
+    def history_events(self) -> Tuple:
+        """The merged history as :class:`~repro.verify.HistoryEvent` objects."""
+        from repro.verify.history import events_from_tuples
+
+        return events_from_tuples(self.history)
 
 
 def merge_outcomes(
@@ -360,6 +376,15 @@ def merge_outcomes(
         failovers += float(statistics.get("cluster_failovers", 0.0))
         faults_injected += outcome.faults_injected
         recovery_times.extend(outcome.recovery_times)
+
+    # Partition-order-stable history merge: concatenate in partition-id
+    # order and renumber the per-partition sequence numbers globally, so
+    # the merged history is worker-count invariant and byte-identical
+    # between the serial oracle and the parallel engine.
+    history: List[tuple] = []
+    for outcome in ordered:
+        for row in outcome.history:
+            history.append((len(history),) + row[1:])
 
     def mean_latency_ms(op_class: str) -> float:
         lat_sum, lat_count = latency.get(op_class, (0.0, 0))
@@ -433,6 +458,7 @@ def merge_outcomes(
         throughput=throughput,
         outcomes=list(ordered),
         barrier_trace=barrier_trace,
+        history=tuple(history),
         _summary=summary,
     )
 

@@ -28,6 +28,7 @@ from repro.caching.invalidation import InvalidationCache
 from repro.clock import VirtualClock
 from repro.client.sdk import DEGRADED_LEVEL, ERROR_LEVEL, QuaestorClient, SESSION_LEVEL
 from repro.core.config import QuaestorConfig
+from repro.core.consistency import ConsistencyLevel
 from repro.core.server import QuaestorServer
 from repro.db.database import Database
 from repro.errors import ConfigurationError
@@ -45,6 +46,7 @@ from repro.workloads.operations import Operation, OperationType
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from repro.faults.plan import FaultPlan
+    from repro.verify.history import HistoryRecorder
 
 
 class CachingMode(str, enum.Enum):
@@ -133,6 +135,15 @@ class SimulationConfig:
     #: degraded serving.  ``None`` (and a disabled config) keeps every hot
     #: path byte-identical to a run from before the resilience layer.
     resilience: Optional[ResilienceConfig] = None
+    #: Default session consistency for every simulated client.  ``None``
+    #: keeps the SDK default (Δ-atomic); the consistency-verification
+    #: scenario matrix sweeps this knob.
+    consistency: Optional[ConsistencyLevel] = None
+    #: Record a complete operation/install history for offline consistency
+    #: checking (:mod:`repro.verify`).  Recording observes every operation
+    #: but never influences a simulated decision or RNG draw, so seeded
+    #: results are identical with it on or off.
+    record_history: bool = False
 
     def __post_init__(self) -> None:
         if self.num_clients <= 0 or self.connections_per_client <= 0:
@@ -155,6 +166,8 @@ class SimulationConfig:
             self.ttl_estimator, TTLEstimatorSpec
         ):
             raise ConfigurationError("ttl_estimator must be a TTLEstimatorSpec")
+        if self.consistency is not None and not isinstance(self.consistency, ConsistencyLevel):
+            raise ConfigurationError("consistency must be a ConsistencyLevel")
         if self.workload_phases is not None:
             if not self.workload_phases:
                 raise ConfigurationError("workload_phases must contain at least one phase")
@@ -235,6 +248,14 @@ class Simulator:
             # Applied after any mode substitution so the knob always wins.
             quaestor_config = replace(quaestor_config, ttl_estimator=config.ttl_estimator)
         self.auditor = StalenessAuditor()
+        #: Offline-verification history: shared by the deployment's install
+        #: sites and this simulator's per-operation recording.  ``None``
+        #: (the default) keeps every path recording-free.
+        self.history: Optional["HistoryRecorder"] = None
+        if config.record_history:
+            from repro.verify.history import HistoryRecorder
+
+            self.history = HistoryRecorder()
         #: Replication is "active" when it can change behaviour at all: a
         #: replication factor above one, or faults to inject.  Only then does
         #: the summary grow availability metrics.
@@ -269,6 +290,7 @@ class Simulator:
                 replication=replication,
                 resilience=config.resilience,
                 gray_seed=config.seed,
+                history=self.history,
             )
             self.database: Optional[Database] = None
             self.server = ClusterClient(self.cluster)
@@ -282,6 +304,7 @@ class Simulator:
                 config=quaestor_config,
                 invalidb=InvaliDBCluster(matching_nodes=config.matching_nodes),
                 auditor=self.auditor,
+                history=self.history,
             )
 
         #: Fault injection: the plan's crash/recover/partition events enter
@@ -307,6 +330,9 @@ class Simulator:
 
         # --- clients: one SDK instance per client machine, many connections each. ---
         self.clients: List[QuaestorClient] = []
+        client_kwargs = {}
+        if config.consistency is not None:
+            client_kwargs["consistency"] = config.consistency
         for index in range(config.num_clients):
             client = QuaestorClient(
                 self.server,
@@ -317,6 +343,7 @@ class Simulator:
                 use_ebf=config.mode.uses_ebf,
                 name=f"client-{index}",
                 resilience=config.resilience,
+                **client_kwargs,
             )
             if config.mode.uses_ebf:
                 client.connect()
@@ -356,6 +383,9 @@ class Simulator:
         self._stale_counts = Counter()
         self._hedged_reads = 0
         self._hedge_wins = 0
+        #: (hedged, retried, fast_failed) markers of the operation in flight,
+        #: stashed by _drain_resilience for the history recorder.
+        self._op_markers: Tuple[bool, bool, bool] = (False, False, False)
         self._measured_operations = 0
         self._total_operations = 0
         self._warmup_operations = int(config.warmup_fraction * config.max_operations)
@@ -460,6 +490,18 @@ class Simulator:
         """Measured-window staleness audit counters (parallel-merge surface)."""
         return self._stale_counts.as_dict()
 
+    def history_events(self) -> Tuple:
+        """The recorded consistency history (empty unless ``record_history``)."""
+        if self.history is None:
+            return ()
+        return self.history.events()
+
+    def history_tuples(self) -> Tuple[tuple, ...]:
+        """Flat picklable history rows (parallel-merge surface)."""
+        if self.history is None:
+            return ()
+        return self.history.event_tuples()
+
     # -- workload buffering ---------------------------------------------------------------------
 
     def _next_workload_operation(self) -> Operation:
@@ -492,7 +534,10 @@ class Simulator:
         start_time = self.clock.now()
         issue_wait = self._client_wait(client_index)
 
-        latency, op_class, key, etag, level = self._perform(client, operation)
+        recording = self.history is not None
+        if recording:
+            self._op_markers = (False, False, False)
+        latency, op_class, key, etag, level, result = self._perform(client, operation)
 
         # Client-side queueing delays the next request of this connection but
         # is not part of the per-request latency the paper reports.
@@ -523,6 +568,27 @@ class Simulator:
                     "audited_read" if op_class == "read" else "audited_query"
                 )
 
+        if recording:
+            hedged, retried, fast_failed = self._op_markers
+            version = result.version
+            if operation.type == OperationType.DELETE and level != ERROR_LEVEL:
+                version = -1  # tombstone: acknowledged deletes carry no body
+            self.history.record_operation(
+                session=client.name,
+                op=operation.type.value,
+                key=key,
+                invoked=start_time,
+                completed=completion,
+                etag=etag,
+                version=version,
+                level=level,
+                frontier=client.causal_frontier,
+                degraded=(level == DEGRADED_LEVEL or result.degraded),
+                hedged=hedged,
+                retried=retried,
+                fast_failed=fast_failed,
+            )
+
         self.events.schedule(
             completion, partial(self._execute_operation, client_index), label="op"
         )
@@ -536,13 +602,13 @@ class Simulator:
             for extra_level in result.extra_levels:
                 latency += self._read_path_latency(extra_level, None)
             latency = self._drain_resilience(latency, result.level)
-            return latency, "query", result.key, result.etag, result.level
+            return latency, "query", result.key, result.etag, result.level, result
 
         if operation.type == OperationType.READ:
             result = client.read(operation.collection, operation.document_id)
             latency = self._read_path_latency(result.level, result.key)
             latency = self._drain_resilience(latency, result.level)
-            return latency, "read", result.key, result.etag, result.level
+            return latency, "read", result.key, result.etag, result.level, result
 
         # Writes always travel to the origin (the owning shard's primary) and
         # pay its capacity constraint.
@@ -557,11 +623,11 @@ class Simulator:
             # The primary is down: the write failed after a wide-area round
             # trip and consumed no origin capacity.
             latency = self._drain_resilience(topology.write_latency(), ERROR_LEVEL)
-            return latency, "write", result.key, None, ERROR_LEVEL
+            return latency, "write", result.key, None, ERROR_LEVEL, result
         latency = topology.write_latency() + self._origin_wait(write_token)
         latency = self._gray_write_latency(latency, operation)
         latency = self._drain_resilience(latency, "origin")
-        return latency, "write", result.key, None, "origin"
+        return latency, "write", result.key, None, "origin", result
 
     def _read_path_latency(self, level: str, key: Optional[str]) -> float:
         """Latency of a read/query answered at ``level`` plus origin queueing."""
@@ -668,6 +734,12 @@ class Simulator:
         trace = cluster.resilience_runtime.take_trace()
         if trace.empty:
             return latency
+        if self.history is not None:
+            self._op_markers = (
+                trace.hedged,
+                trace.extra_round_trips > 0,
+                trace.fast_failed,
+            )
         if (
             trace.fast_failed
             and trace.extra_round_trips == 0

@@ -1,0 +1,63 @@
+"""History-based consistency verification (Jepsen-style, offline).
+
+``repro.verify`` records complete invocation/response histories from
+simulated runs and checks every guarantee the system claims — Δ-atomic
+staleness bounds, read-your-writes, monotonic reads, and causal-frontier
+monotonicity — as pure functions over the recorded history, with a
+witness shrinker for failing runs and a mutation self-test layer that
+proves the checkers cannot pass vacuously.
+
+The scenario matrix lives in :mod:`repro.verify.scenarios` and is
+imported lazily (it pulls in the simulator, which itself records into
+this package): run it via ``python -m repro.verify`` or
+``make verify-consistency``.
+"""
+
+from .checkers import (
+    CheckerReport,
+    Violation,
+    check_causal_frontier,
+    check_delta_atomicity,
+    check_monotonic_reads,
+    check_read_your_writes,
+    run_all,
+)
+from .history import (
+    KIND_INSTALL,
+    KIND_OPERATION,
+    HistoryEvent,
+    HistoryRecorder,
+    canonical_bytes,
+    events_from_tuples,
+)
+from .mutations import MUTATIONS, Mutation, MutationOutcome, run_mutation_self_test
+from .report import (
+    render_report,
+    render_timeline,
+    shrink_first_violation,
+    shrink_history,
+)
+
+__all__ = [
+    "CheckerReport",
+    "Violation",
+    "check_causal_frontier",
+    "check_delta_atomicity",
+    "check_monotonic_reads",
+    "check_read_your_writes",
+    "run_all",
+    "KIND_INSTALL",
+    "KIND_OPERATION",
+    "HistoryEvent",
+    "HistoryRecorder",
+    "canonical_bytes",
+    "events_from_tuples",
+    "MUTATIONS",
+    "Mutation",
+    "MutationOutcome",
+    "run_mutation_self_test",
+    "render_report",
+    "render_timeline",
+    "shrink_first_violation",
+    "shrink_history",
+]

@@ -1,0 +1,114 @@
+"""Violation reporting: witness shrinking and timeline rendering.
+
+When a checker flags a history, the full run is thousands of events; the
+shrinker reduces it to the smallest sub-history that still reproduces a
+violation (ddmin-style chunked greedy removal, then a single-event
+sweep), and the reporter renders that witness as a legible timeline next
+to the fault plan that produced it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from .checkers import CheckerReport, Violation
+from .history import HistoryEvent
+
+__all__ = [
+    "shrink_history",
+    "shrink_first_violation",
+    "render_timeline",
+    "render_report",
+]
+
+#: Predicate deciding whether a candidate sub-history still fails.
+FailurePredicate = Callable[[Sequence[HistoryEvent]], bool]
+
+
+def shrink_history(
+    events: Sequence[HistoryEvent],
+    still_fails: FailurePredicate,
+    max_rounds: int = 64,
+) -> List[HistoryEvent]:
+    """Minimize ``events`` to a small witness for which ``still_fails`` holds.
+
+    Delta-debugging flavoured: try dropping large chunks first, halving
+    the chunk size when no chunk can be removed, and finish with a
+    one-by-one sweep.  The result is 1-minimal with respect to single
+    removals: dropping any one remaining event makes the failure vanish.
+    ``still_fails(events)`` must be True on entry (checked).
+    """
+    current = list(events)
+    if not still_fails(current):
+        raise ValueError("shrink_history called with a passing history")
+    chunk = max(1, len(current) // 2)
+    rounds = 0
+    while chunk >= 1 and rounds < max_rounds:
+        rounds += 1
+        removed_any = False
+        start = 0
+        while start < len(current):
+            candidate = current[:start] + current[start + chunk:]
+            if candidate and still_fails(candidate):
+                current = candidate
+                removed_any = True
+                # Re-test the same offset: the next chunk slid into place.
+            else:
+                start += chunk
+        if chunk == 1 and not removed_any:
+            break
+        if not removed_any:
+            chunk //= 2
+    return current
+
+
+def render_timeline(events: Sequence[HistoryEvent]) -> str:
+    """One legible line per event, in history order."""
+    if not events:
+        return "(empty history)"
+    return "\n".join(event.describe() for event in events)
+
+
+def render_report(
+    reports: Sequence[CheckerReport],
+    witness: Optional[Sequence[HistoryEvent]] = None,
+    fault_plan: object = None,
+    scenario: str = "",
+) -> str:
+    """Render checker verdicts (and the shrunk witness, when failing)."""
+    lines: List[str] = []
+    if scenario:
+        lines.append(f"scenario: {scenario}")
+    total = 0
+    for report in reports:
+        verdict = "ok" if report.ok else f"{len(report.violations)} violation(s)"
+        lines.append(f"  {report.checker:<18s} checked={report.checked:<6d} {verdict}")
+        total += len(report.violations)
+    if total:
+        lines.append("violations:")
+        for report in reports:
+            for violation in report.violations:
+                lines.append(f"  {violation}")
+        if fault_plan is not None:
+            lines.append("fault plan:")
+            for line in repr(fault_plan).splitlines():
+                lines.append(f"  {line}")
+        if witness is not None:
+            lines.append(f"minimal witness ({len(witness)} events):")
+            for line in render_timeline(witness).splitlines():
+                lines.append(f"  {line}")
+    return "\n".join(lines)
+
+
+def shrink_first_violation(
+    events: Sequence[HistoryEvent],
+    run_checkers: Callable[[Sequence[HistoryEvent]], Sequence[CheckerReport]],
+) -> Optional[List[HistoryEvent]]:
+    """Shrink against *any* violation reproducing; None when history passes."""
+
+    def still_fails(candidate: Sequence[HistoryEvent]) -> bool:
+        return any(not report.ok for report in run_checkers(candidate))
+
+    if not still_fails(events):
+        return None
+    return shrink_history(events, still_fails)

@@ -97,15 +97,38 @@ class TestReprTimeline:
         )
         assert [event.time for event in plan.events] == [1.0, 9.0]
 
+    def test_same_time_events_sort_stably_by_target_then_action(self):
+        # Construction order must not leak into the canonical timeline:
+        # same-instant events order by (time, target, action) so two seeded
+        # plans with identical events always repr identically.
+        events = [
+            FaultEvent(5.0, FaultAction.SLOW_SHARD, "shard:1", magnitude=4.0),
+            FaultEvent(5.0, FaultAction.CRASH, "shard:0"),
+            FaultEvent(5.0, FaultAction.FLAKY_SHARD, "shard:1", magnitude=0.2),
+        ]
+        forward = FaultPlan(events=events)
+        backward = FaultPlan(events=list(reversed(events)))
+        expected = [
+            ("shard:0", FaultAction.CRASH),
+            ("shard:1", FaultAction.FLAKY_SHARD),
+            ("shard:1", FaultAction.SLOW_SHARD),
+        ]
+        assert [(e.target, e.action) for e in forward.events] == expected
+        assert forward.events == backward.events
+        assert repr(forward) == repr(backward)
+
 
 class TestBuilders:
     def test_brownout_builder_timeline(self):
         plan = FaultPlan.brownout(shard=1, at=2.0, recover_at=8.0, slow_factor=3.0, drop_rate=0.2)
         assert plan.name == "brownout/shard=1"
         actions = [event.action for event in plan.events]
-        assert actions == [FaultAction.SLOW_SHARD, FaultAction.FLAKY_SHARD, FaultAction.RESTORE]
+        # Canonical tie order at the onset instant: flaky_shard < slow_shard
+        # (sorted by action name; the gray toggles commute).
+        assert actions == [FaultAction.FLAKY_SHARD, FaultAction.SLOW_SHARD, FaultAction.RESTORE]
         assert all(event.target == "shard:1" for event in plan.events)
-        assert plan.events[0].magnitude == pytest.approx(3.0)
+        assert plan.events[0].magnitude == pytest.approx(0.2)
+        assert plan.events[1].magnitude == pytest.approx(3.0)
         assert plan.events[-1].time == pytest.approx(8.0)
 
     def test_brownout_without_drops_skips_the_flaky_event(self):

@@ -131,6 +131,93 @@ class TestCircuitBreaker:
             BreakerPolicy(cooldown=-1.0)
 
 
+class TestCircuitBreakerEdgeCases:
+    """Half-open races: queued requests around the single probe slot."""
+
+    def build(self, threshold=1, cooldown=2.0):
+        clock = VirtualClock()
+        breaker = CircuitBreaker(BreakerPolicy(threshold, cooldown), clock)
+        return clock, breaker
+
+    def trip_and_cool(self, clock, breaker):
+        breaker.record_failure()
+        clock.advance(2.5)
+
+    def test_queued_requests_are_denied_while_the_probe_is_inflight(self):
+        clock, breaker = self.build()
+        self.trip_and_cool(clock, breaker)
+        assert breaker.allow()  # the probe goes out
+        # A burst of queued requests arrives before the probe resolves:
+        # every one must be refused, and none may steal the probe slot.
+        for _ in range(5):
+            assert not breaker.allow()
+        assert breaker.state == BREAKER_HALF_OPEN
+
+    def test_probe_failure_with_queued_requests_reopens_for_everyone(self):
+        clock, breaker = self.build()
+        self.trip_and_cool(clock, breaker)
+        assert breaker.allow()
+        assert not breaker.allow()  # queued behind the probe
+        breaker.record_failure()  # the probe fails
+        assert breaker.state == BREAKER_OPEN
+        # The queued requests retry immediately: still fast-failed, and
+        # their denials must not extend or reset the fresh cooldown.
+        for _ in range(3):
+            assert not breaker.allow()
+        clock.advance(2.5)
+        assert breaker.allow()  # exactly one new probe after the cooldown
+        assert not breaker.allow()
+
+    def test_shard_restore_mid_probe_closes_on_the_probe_success(self):
+        # The fault injector restores the shard while the probe is still
+        # in flight; the probe's success is what closes the breaker, and
+        # every queued request passes from then on.
+        clock, breaker = self.build()
+        self.trip_and_cool(clock, breaker)
+        assert breaker.allow()
+        assert not breaker.allow()  # queued mid-probe
+        breaker.record_success()
+        assert breaker.state == BREAKER_CLOSED
+        for _ in range(5):
+            assert breaker.allow()
+
+    def test_restore_after_a_lost_probe_needs_one_more_cooldown(self):
+        # Restore lands after the probe was already dropped: the failure
+        # outcome re-opens the breaker even though the shard is healthy,
+        # and the next cooldown's probe is what finally closes it.
+        clock, breaker = self.build()
+        self.trip_and_cool(clock, breaker)
+        assert breaker.allow()
+        breaker.record_failure()  # probe was lost before the restore
+        assert breaker.state == BREAKER_OPEN
+        clock.advance(2.5)
+        assert breaker.allow()
+        breaker.record_success()  # healthy shard answers the new probe
+        assert breaker.state == BREAKER_CLOSED
+
+    def test_late_success_from_before_the_trip_closes_the_breaker(self):
+        # An in-flight request issued before the trip can resolve while
+        # the breaker is open; success is authoritative evidence the
+        # shard answers, so it closes the breaker immediately.
+        clock, breaker = self.build(threshold=2)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == BREAKER_OPEN
+        breaker.record_success()
+        assert breaker.state == BREAKER_CLOSED
+        assert breaker.allow()
+
+    def test_probe_slot_resets_on_each_new_half_open_window(self):
+        clock, breaker = self.build()
+        self.trip_and_cool(clock, breaker)
+        assert breaker.allow()
+        breaker.record_failure()
+        clock.advance(2.5)
+        # New half-open window: the stale probe flag must not leak in.
+        assert breaker.state == BREAKER_HALF_OPEN
+        assert breaker.allow()
+
+
 class TestHedgePolicy:
     def test_delay_is_the_analytic_quantile(self):
         model = LatencyModel(mean=0.1, jitter=0.02)

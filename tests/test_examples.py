@@ -19,6 +19,7 @@ FAST_EXAMPLES = [
     "blog_platform.py",
     "realtime_dashboard.py",
     "failover_drill.py",
+    "consistency_audit.py",
 ]
 
 
@@ -46,6 +47,22 @@ def test_dashboard_example_reports_live_changes(capsys):
     assert "[orders]" in output and "add" in output
     assert "awaiting shipment" in output
     assert "dashboard closed" in output
+
+
+def test_consistency_audit_prints_verdicts_and_passes(capsys):
+    runpy.run_path(str(EXAMPLES_DIR / "consistency_audit.py"), run_name="__main__")
+    output = capsys.readouterr().out
+    # Every guarantee gets a verdict row...
+    for guarantee in (
+        "delta-atomicity",
+        "read-your-writes",
+        "monotonic-reads",
+        "causal-frontier",
+    ):
+        assert guarantee in output
+    # ...the audit is clean and the self-test is not vacuous.
+    assert "PASS" in output and "FAIL" not in output
+    assert "MISSED" not in output and "detected" in output
 
 
 def test_failover_drill_shows_the_availability_story(capsys):

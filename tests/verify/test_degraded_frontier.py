@@ -1,0 +1,147 @@
+"""Degraded serves must never advance the causal frontier.
+
+Regression for the stale-if-error x session-guarantee interaction: a
+stale-if-error response is explicitly outside the session's causal
+past, so serving it may not move ``causal_frontier`` -- otherwise a
+later causal read could be whitelisted against cached state the
+session never actually observed fresh.  Pinned both at the SDK level
+(the live ``causal_frontier`` value) and through the offline
+causal-frontier checker over a recorded history.
+"""
+
+from __future__ import annotations
+
+from repro.client import QuaestorClient
+from repro.client.sdk import DEGRADED_LEVEL
+from repro.clock import VirtualClock
+from repro.cluster import ClusterClient, QuaestorCluster
+from repro.core.consistency import ConsistencyLevel
+from repro.replication import ReplicationConfig
+from repro.resilience import ResilienceConfig
+from repro.simulation.latency import LatencyModel
+from repro.verify.checkers import check_causal_frontier
+from repro.verify.history import HistoryRecorder
+
+
+def build(consistency=ConsistencyLevel.DELTA_ATOMIC):
+    clock = VirtualClock()
+    resilience = ResilienceConfig()
+    cluster = QuaestorCluster(
+        num_shards=1,
+        clock=clock,
+        matching_nodes=2,
+        replication=ReplicationConfig(
+            replication_factor=1, lag=LatencyModel(mean=0.01, jitter=0.0)
+        ),
+        resilience=resilience,
+    )
+    facade = ClusterClient(cluster)
+    client = QuaestorClient(
+        facade,
+        clock=clock,
+        refresh_interval=0.5,
+        resilience=resilience,
+        consistency=consistency,
+    )
+    client.connect()
+    facade.handle_insert("posts", {"_id": "p1", "views": 1})
+    return clock, cluster, client
+
+
+def force_degraded_read(clock, cluster, client):
+    """Expire the cached copy, crash the origin, read stale-if-error."""
+    entry = client.client_cache.peek("record:posts/p1")
+    assert entry is not None
+    clock.advance(entry.fresh_until - clock.now() + 2.0)
+    cluster.crash_node(cluster.groups[0].primary_node_id)
+    result = client.read("posts", "p1")
+    assert result.level == DEGRADED_LEVEL and result.degraded
+    return result
+
+
+class TestSdkFrontier:
+    def test_degraded_read_does_not_advance_the_frontier(self):
+        clock, cluster, client = build()
+        client.read("posts", "p1")
+        frontier_before = client.causal_frontier
+        force_degraded_read(clock, cluster, client)
+        assert client.causal_frontier == frontier_before
+
+    def test_degraded_read_under_causal_does_not_advance_the_frontier(self):
+        clock, cluster, client = build(consistency=ConsistencyLevel.CAUSAL)
+        client.read("posts", "p1")
+        frontier_before = client.causal_frontier
+        force_degraded_read(clock, cluster, client)
+        assert client.causal_frontier == frontier_before
+
+    def test_fresh_causal_read_does_advance_the_frontier(self):
+        """Control: the invariant is about degraded serves specifically.
+
+        Under CAUSAL an origin-served read marks primary-fresh state and
+        advances the frontier; the degraded serve above must not.
+        """
+        clock, cluster, client = build(consistency=ConsistencyLevel.CAUSAL)
+        clock.advance(1.0)
+        client.read("posts", "p1")  # origin miss: primary-fresh
+        assert client.causal_frontier > 0.0
+
+    def test_acknowledged_write_does_advance_the_frontier(self):
+        clock, cluster, client = build()
+        frontier_before = client.causal_frontier
+        clock.advance(1.0)
+        client.update("posts", "p1", {"views": 2})
+        assert client.causal_frontier > frontier_before
+
+
+class TestRecordedHistory:
+    def _record(self, client, recorder, result, clock):
+        recorder.record_operation(
+            session="c0",
+            op="read",
+            key="record:posts/p1",
+            invoked=clock.now(),
+            completed=clock.now(),
+            etag=result.etag if hasattr(result, "etag") else None,
+            version=result.version,
+            level=result.level,
+            frontier=client.causal_frontier,
+            degraded=result.degraded,
+            hedged=False,
+            retried=False,
+            fast_failed=False,
+        )
+
+    def test_checker_passes_the_real_sdk_trace(self):
+        clock, cluster, client = build()
+        recorder = HistoryRecorder()
+        self._record(client, recorder, client.read("posts", "p1"), clock)
+        self._record(
+            client, recorder, force_degraded_read(clock, cluster, client), clock
+        )
+        report = check_causal_frontier(recorder.events())
+        assert report.ok, report.violations
+
+    def test_checker_catches_a_frontier_advancing_degraded_serve(self):
+        """If the SDK ever regressed, this is the violation it would raise."""
+        clock, cluster, client = build()
+        recorder = HistoryRecorder()
+        self._record(client, recorder, client.read("posts", "p1"), clock)
+        result = force_degraded_read(clock, cluster, client)
+        recorder.record_operation(
+            session="c0",
+            op="read",
+            key="record:posts/p1",
+            invoked=clock.now(),
+            completed=clock.now(),
+            etag=None,
+            version=result.version,
+            level=result.level,
+            frontier=client.causal_frontier + 5.0,  # the buggy advance
+            degraded=True,
+            hedged=False,
+            retried=False,
+            fast_failed=False,
+        )
+        report = check_causal_frontier(recorder.events())
+        assert not report.ok
+        assert "degraded" in report.violations[0].description

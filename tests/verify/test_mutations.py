@@ -1,0 +1,68 @@
+"""Vacuity-proofing: every registered mutation must trip its checker."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulation.simulator import SimulationConfig, Simulator
+from repro.verify.mutations import MUTATIONS, run_mutation_self_test
+
+EXPECTED_MUTATIONS = {
+    "oversized_ttl": "delta-atomicity",
+    "dropped_invalidation": "delta-atomicity",
+    "frontier_rollback": "causal-frontier",
+    "degraded_frontier_advance": "causal-frontier",
+    "lost_acked_write": "read-your-writes",
+    "monotonic_regression": "monotonic-reads",
+}
+
+
+@pytest.fixture(scope="module")
+def recorded_history():
+    config = SimulationConfig(
+        seed=42,
+        num_shards=2,
+        replication_factor=3,
+        num_clients=4,
+        connections_per_client=2,
+        duration=30.0,
+        max_operations=400,
+        matching_nodes=2,
+        record_history=True,
+    )
+    simulator = Simulator(config)
+    simulator.run()
+    return simulator.history_events()
+
+
+class TestRegistry:
+    def test_every_guarantee_has_a_mutation(self):
+        assert {m.name: m.expected_checker for m in MUTATIONS} == EXPECTED_MUTATIONS
+
+    def test_mutations_do_not_modify_the_input(self, recorded_history):
+        before = tuple(recorded_history)
+        for mutation in MUTATIONS:
+            mutation.apply(recorded_history)
+        assert tuple(recorded_history) == before
+
+
+class TestDetection:
+    def test_all_mutations_detected_on_a_recorded_history(self, recorded_history):
+        outcomes = run_mutation_self_test(
+            recorded_history, delta_budget=2.5, degraded_budget=11.5
+        )
+        missed = [o.name for o in outcomes if not o.detected]
+        assert not missed, f"mutations evaded their checker: {missed}"
+
+    def test_mutations_fire_only_their_targeted_checker(self, recorded_history):
+        """Each injected breach is a clean single-guarantee violation."""
+        outcomes = run_mutation_self_test(
+            recorded_history, delta_budget=2.5, degraded_budget=11.5
+        )
+        for outcome in outcomes:
+            assert outcome.checkers_fired == (outcome.expected_checker,), outcome
+
+    def test_all_mutations_detected_on_an_empty_history(self):
+        """Fixture synthesis keeps the self-test meaningful with no traffic."""
+        outcomes = run_mutation_self_test((), delta_budget=2.5, degraded_budget=11.5)
+        assert all(outcome.detected for outcome in outcomes)

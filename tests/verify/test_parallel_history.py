@@ -1,0 +1,62 @@
+"""Histories must be byte-identical across serial oracle and worker counts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulation.parallel import ParallelSimulator, serial_oracle
+from repro.simulation.simulator import SimulationConfig
+from repro.verify.history import canonical_bytes
+
+
+@pytest.fixture(scope="module")
+def config():
+    return SimulationConfig(
+        seed=42,
+        num_shards=2,
+        replication_factor=3,
+        num_clients=4,
+        connections_per_client=2,
+        duration=30.0,
+        max_operations=400,
+        matching_nodes=2,
+        record_history=True,
+    )
+
+
+@pytest.fixture(scope="module")
+def oracle(config):
+    return serial_oracle(config, num_partitions=2)
+
+
+@pytest.fixture(scope="module")
+def parallel2(config):
+    return ParallelSimulator(config, num_partitions=2, num_workers=2).run()
+
+
+class TestHistoryParity:
+    def test_oracle_records_a_history(self, oracle):
+        assert oracle.history
+        assert len(oracle.history_events()) == len(oracle.history)
+
+    def test_parallel_matches_serial_oracle_byte_for_byte(self, oracle, parallel2):
+        assert canonical_bytes(parallel2.history_events()) == canonical_bytes(
+            oracle.history_events()
+        )
+
+    def test_worker_count_leaves_no_trace(self, config, parallel2):
+        inline = ParallelSimulator(config, num_partitions=2, num_workers=1).run()
+        assert canonical_bytes(inline.history_events()) == canonical_bytes(
+            parallel2.history_events()
+        )
+
+    def test_merge_renumbers_seq_globally(self, oracle):
+        seqs = [event.seq for event in oracle.history_events()]
+        assert seqs == list(range(len(seqs)))
+
+    def test_history_off_merges_empty(self, config):
+        from dataclasses import replace
+
+        plain = serial_oracle(replace(config, record_history=False), num_partitions=2)
+        assert plain.history == ()
+        assert plain.history_events() == ()

@@ -1,0 +1,108 @@
+"""Witness shrinking and report rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.verify.checkers import check_monotonic_reads, run_all
+from repro.verify.history import KIND_OPERATION, HistoryEvent
+from repro.verify.report import (
+    render_report,
+    render_timeline,
+    shrink_first_violation,
+    shrink_history,
+)
+
+
+def read(seq: int, session: str, key: str, at: float, version: int) -> HistoryEvent:
+    return HistoryEvent(
+        seq=seq, kind=KIND_OPERATION, session=session, op="read", key=key,
+        invoked=at, completed=at + 0.01, etag=None, version=version,
+        level="cdn", frontier=0.0, degraded=False, hedged=False,
+        retried=False, fast_failed=False,
+    )
+
+
+def _regression_history(noise: int = 40):
+    """Lots of passing reads plus one two-event monotonic regression."""
+    events = [read(i, f"n{i % 5}", f"pad{i}", float(i), 1) for i in range(noise)]
+    events.append(read(noise, "victim", "k", float(noise), 9))
+    events.append(read(noise + 1, "victim", "k", float(noise + 1), 2))
+    return events
+
+
+class TestShrinkHistory:
+    def test_raises_on_a_passing_history(self):
+        with pytest.raises(ValueError):
+            shrink_history([], lambda events: False)
+
+    def test_shrinks_to_the_minimal_witness(self):
+        events = _regression_history()
+
+        def still_fails(candidate):
+            return not check_monotonic_reads(candidate).ok
+
+        witness = shrink_history(events, still_fails)
+        # The regression needs exactly two events: the high read and the
+        # low re-read in the same session.
+        assert len(witness) == 2
+        assert [e.session for e in witness] == ["victim", "victim"]
+        assert [e.version for e in witness] == [9, 2]
+
+    def test_witness_is_one_minimal(self):
+        events = _regression_history(noise=10)
+
+        def still_fails(candidate):
+            return not check_monotonic_reads(candidate).ok
+
+        witness = shrink_history(events, still_fails)
+        for index in range(len(witness)):
+            poked = witness[:index] + witness[index + 1:]
+            assert not still_fails(poked)
+
+    def test_preserves_history_order(self):
+        events = _regression_history(noise=20)
+
+        def still_fails(candidate):
+            return not check_monotonic_reads(candidate).ok
+
+        witness = shrink_history(events, still_fails)
+        seqs = [event.seq for event in witness]
+        assert seqs == sorted(seqs)
+
+
+class TestShrinkFirstViolation:
+    def test_returns_none_for_a_passing_history(self):
+        events = [read(0, "c0", "k", 1.0, 1)]
+        assert shrink_first_violation(events, lambda e: run_all(e, 10.0)) is None
+
+    def test_finds_and_shrinks_a_violation(self):
+        events = _regression_history(noise=15)
+        witness = shrink_first_violation(events, lambda e: run_all(e, 10.0))
+        assert witness is not None
+        assert len(witness) == 2
+
+
+class TestRendering:
+    def test_timeline_renders_one_line_per_event(self):
+        events = _regression_history(noise=3)
+        assert len(render_timeline(events).splitlines()) == len(events)
+
+    def test_empty_timeline(self):
+        assert render_timeline([]) == "(empty history)"
+
+    def test_report_includes_verdicts_and_witness(self):
+        events = _regression_history(noise=5)
+        reports = run_all(events, delta_budget=10.0)
+        witness = shrink_first_violation(events, lambda e: run_all(e, 10.0))
+        text = render_report(reports, witness=witness, scenario="unit")
+        assert "scenario: unit" in text
+        assert "monotonic-reads" in text
+        assert "violation" in text
+        # The shrunk witness timeline is embedded.
+        assert "victim" in text
+
+    def test_passing_report_has_no_violation_section(self):
+        reports = run_all([], delta_budget=1.0)
+        text = render_report(reports)
+        assert "violations:" not in text

@@ -1,0 +1,97 @@
+"""Scenario matrix: fast representative audit plus the full chaos matrix.
+
+The full 16-cell matrix is marked ``slow_chaos`` and excluded from the
+default run (see pytest.ini); CI runs it as a separate step via
+``make verify-consistency`` / ``pytest -m slow_chaos``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.consistency import ConsistencyLevel
+from repro.errors import ConfigurationError
+from repro.verify.scenarios import (
+    FAULTS,
+    ScenarioSpec,
+    budgets_for,
+    run_scenario,
+    scenario_matrix,
+    smoke_matrix,
+)
+
+
+class TestMatrixShape:
+    def test_full_matrix_is_the_cross_product(self):
+        matrix = scenario_matrix()
+        assert len(matrix) == len(FAULTS) * 2 * 2
+        cells = {(s.fault, s.replication_factor, s.consistency) for s in matrix}
+        assert len(cells) == len(matrix)
+
+    def test_seeds_are_distinct_and_stable(self):
+        seeds = [spec.seed for spec in scenario_matrix()]
+        assert len(set(seeds)) == len(seeds)
+        assert seeds == [spec.seed for spec in scenario_matrix()]
+
+    def test_smoke_matrix_covers_every_fault_archetype(self):
+        smoke = smoke_matrix()
+        assert sorted(spec.fault for spec in smoke) == sorted(FAULTS)
+        assert all(spec in scenario_matrix() for spec in smoke)
+
+    def test_unknown_fault_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioSpec(
+                fault="meteor", replication_factor=1,
+                consistency=ConsistencyLevel.CAUSAL, seed=1,
+            )
+
+    def test_gray_faults_enable_the_resilience_layer(self):
+        by_fault = {spec.fault: spec for spec in smoke_matrix()}
+        assert by_fault["brownout"].build_config().resilience is not None
+        assert by_fault["flaky"].build_config().resilience is not None
+        assert by_fault["none"].build_config().resilience is None
+
+    def test_crash_budget_covers_the_failover_window(self):
+        by_fault = {spec.fault: spec for spec in smoke_matrix()}
+        calm, _ = budgets_for(by_fault["none"], by_fault["none"].build_config())
+        crash, _ = budgets_for(
+            by_fault["rolling-crashes"], by_fault["rolling-crashes"].build_config()
+        )
+        assert crash > calm
+
+
+class TestRepresentativeScenario:
+    """One real cell end to end: the quick gate for the default test run."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        spec = smoke_matrix()[0]  # none/rf=3/delta-atomic
+        return run_scenario(spec)
+
+    def test_unmodified_system_audits_clean(self, result):
+        assert result.checkers_ok, [
+            (r.checker, r.violations) for r in result.reports if not r.ok
+        ]
+
+    def test_every_guarantee_audited_real_events(self, result):
+        checked = {report.checker: report.checked for report in result.reports}
+        assert all(count > 0 for count in checked.values()), checked
+
+    def test_every_mutation_detected(self, result):
+        missed = [o.name for o in result.mutations if not o.detected]
+        assert not missed, missed
+
+
+@pytest.mark.slow_chaos
+class TestFullChaosMatrix:
+    @pytest.mark.parametrize(
+        "spec", scenario_matrix(), ids=lambda spec: spec.name
+    )
+    def test_cell_audits_clean_and_mutations_detected(self, spec):
+        result = run_scenario(spec)
+        assert result.checkers_ok, [
+            (r.checker, r.violations) for r in result.reports if not r.ok
+        ]
+        assert result.mutations_ok, [
+            o.name for o in result.mutations if not o.detected
+        ]
