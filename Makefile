@@ -44,6 +44,10 @@
 #                                   then the slow_chaos pytest cells
 #   make verify-consistency-smoke - one representative scenario per fault
 #                                   archetype; the quick CI gate
+#   make obs-smoke       - seeded brownout scenario with tracing on: asserts the
+#                          summary is value-identical to the tracing-off run, the
+#                          span tree is non-empty and >=95% of every request's
+#                          latency is attributed; writes benchmarks/results/obs/
 #   make docs-check      - fail if README.md or docs/ reference missing modules/files
 
 PYTHON ?= python
@@ -62,7 +66,7 @@ GATED_BENCH := \
 
 BENCH_FILES := $(filter-out $(GATED_BENCH),$(wildcard benchmarks/bench_*.py))
 
-.PHONY: test bench-smoke bench bench-hotpaths bench-hotpaths-check bench-sim bench-sim-check bench-sim-parallel bench-sim-parallel-check sim-parallel-smoke bench-replication bench-replication-check bench-ttl bench-ttl-check bench-resilience bench-resilience-check smoke-failover chaos-smoke verify-consistency verify-consistency-smoke docs-check
+.PHONY: test bench-smoke bench bench-hotpaths bench-hotpaths-check bench-sim bench-sim-check bench-sim-parallel bench-sim-parallel-check sim-parallel-smoke bench-replication bench-replication-check bench-ttl bench-ttl-check bench-resilience bench-resilience-check smoke-failover chaos-smoke verify-consistency verify-consistency-smoke obs-smoke docs-check
 
 test:
 	$(PYTEST) -x -q
@@ -124,6 +128,9 @@ verify-consistency:
 
 verify-consistency-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.verify --smoke
+
+obs-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.obs --smoke --out benchmarks/results/obs
 
 docs-check:
 	$(PYTHON) scripts/docs_check.py

@@ -45,6 +45,7 @@ REQUIRED_MODULES = (
     "repro.db",
     "repro.faults",
     "repro.invalidb",
+    "repro.obs",
     "repro.replication",
     "repro.resilience",
     "repro.simulation",

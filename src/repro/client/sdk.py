@@ -100,9 +100,15 @@ class QuaestorClient:
         client_cache_max_entries: Optional[int] = None,
         name: str = "client",
         resilience=None,
+        tracer=None,
     ) -> None:
         self.server = server
         self.name = name
+        #: Observability (:class:`repro.obs.TraceRecorder`): when attached,
+        #: every operation opens a root span (``sdk.read`` / ``sdk.query`` /
+        #: ``sdk.insert`` / ...) that the layers below hang their spans off.
+        #: ``None`` keeps the hot path span-free.
+        self.tracer = tracer
         self._clock: Clock = clock if clock is not None else server.clock
         self.consistency = consistency
         self.use_client_cache = use_client_cache
@@ -190,6 +196,24 @@ class QuaestorClient:
 
     # -- reads -------------------------------------------------------------------------------
 
+    def _with_root(self, name: str, impl, *args) -> ClientResult:
+        """Run ``impl`` under a tracing root span, decorated with the outcome.
+
+        Only called when a tracer is attached; nested operations (the
+        per-member reads assembling an id-list query result) become child
+        spans of the enclosing root automatically.
+        """
+        tracer = self.tracer
+        span = tracer.begin(name)
+        try:
+            result = impl(*args)
+        finally:
+            tracer.end(span)
+        if span is not None:
+            span.attrs["key"] = result.key
+            span.attrs["level"] = result.level
+        return result
+
     def read(
         self,
         collection: str,
@@ -197,6 +221,16 @@ class QuaestorClient:
         consistency: Optional[ConsistencyLevel] = None,
     ) -> ClientResult:
         """Read a single record with the session's (or an overriding) consistency."""
+        if self.tracer is None:
+            return self._read_impl(collection, document_id, consistency)
+        return self._with_root("sdk.read", self._read_impl, collection, document_id, consistency)
+
+    def _read_impl(
+        self,
+        collection: str,
+        document_id: str,
+        consistency: Optional[ConsistencyLevel] = None,
+    ) -> ClientResult:
         self.counters.increment("reads")
         key = record_key(collection, document_id)
         level_consistency = consistency if consistency is not None else self.consistency
@@ -248,6 +282,15 @@ class QuaestorClient:
         consistency: Optional[ConsistencyLevel] = None,
     ) -> ClientResult:
         """Execute a query, transparently assembling id-list results."""
+        if self.tracer is None:
+            return self._query_impl(query, consistency)
+        return self._with_root("sdk.query", self._query_impl, query, consistency)
+
+    def _query_impl(
+        self,
+        query: Query,
+        consistency: Optional[ConsistencyLevel] = None,
+    ) -> ClientResult:
         self.counters.increment("queries")
         key = query.cache_key
         self._known_queries[key] = query
@@ -317,6 +360,11 @@ class QuaestorClient:
 
     def insert(self, collection: str, document: Document) -> ClientResult:
         """Insert a new record (writes always go to the origin)."""
+        if self.tracer is None:
+            return self._insert_impl(collection, document)
+        return self._with_root("sdk.insert", self._insert_impl, collection, document)
+
+    def _insert_impl(self, collection: str, document: Document) -> ClientResult:
         self.counters.increment("writes")
         response = self.server.handle_insert(collection, document)
         document_id = str(document.get("_id", ""))
@@ -337,6 +385,11 @@ class QuaestorClient:
 
     def update(self, collection: str, document_id: str, update: Document) -> ClientResult:
         """Apply a partial update to a record."""
+        if self.tracer is None:
+            return self._update_impl(collection, document_id, update)
+        return self._with_root("sdk.update", self._update_impl, collection, document_id, update)
+
+    def _update_impl(self, collection: str, document_id: str, update: Document) -> ClientResult:
         self.counters.increment("writes")
         key = record_key(collection, document_id)
         # Beginning an update invalidates the record in the client's own cache
@@ -357,6 +410,11 @@ class QuaestorClient:
 
     def delete(self, collection: str, document_id: str) -> ClientResult:
         """Delete a record."""
+        if self.tracer is None:
+            return self._delete_impl(collection, document_id)
+        return self._with_root("sdk.delete", self._delete_impl, collection, document_id)
+
+    def _delete_impl(self, collection: str, document_id: str) -> ClientResult:
         self.counters.increment("writes")
         key = record_key(collection, document_id)
         self.client_cache.remove(key)
@@ -398,6 +456,11 @@ class QuaestorClient:
         if counter_name is None:
             counter_name = names.setdefault(fetch.level, f"hits_{fetch.level}")
         self.counters.increment(counter_name)
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.event(
+                "sdk.fetch", level=fetch.level, revalidated=fetch.revalidated
+            )
         return ClientResult(
             key=key,
             value=fetch.body,
@@ -618,6 +681,8 @@ class QuaestorClient:
             self.counters.increment("stale_if_error_rejects")
             return None
         self.counters.increment("stale_if_error_serves")
+        if self.tracer is not None:
+            self.tracer.event("sdk.stale_if_error", key=key)
         body = entry.body if isinstance(entry.body, dict) else {}
         return ClientResult(
             key=key,

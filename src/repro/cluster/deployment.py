@@ -141,6 +141,8 @@ class QuaestorCluster:
         resilience: Optional[ResilienceConfig] = None,
         gray_seed: int = 0,
         history: Optional["HistoryRecorder"] = None,
+        tracer=None,
+        metrics=None,
     ) -> None:
         if num_shards <= 0:
             raise ValueError("num_shards must be positive")
@@ -217,6 +219,17 @@ class QuaestorCluster:
         #: resumes); lets recovery paths honour the failure-detection delay.
         self._primary_down_at: Dict[int, float] = {}
         self.metrics = ClusterMetrics(self)
+        #: Observability (``repro.obs``): request tracer and labeled metrics
+        #: registry, both optional and draw-free.  ``self.metrics`` is the
+        #: statistics facade above, so the registry lives on ``obs_metrics``.
+        self.tracer = tracer
+        self.obs_metrics = metrics
+        if tracer is not None:
+            self.router.tracer = tracer
+            for shard in self.shards:
+                shard.server.tracer = tracer
+        if self.resilience_runtime is not None:
+            self.resilience_runtime.metrics = metrics
 
     def _build_server(self, database: Database, ebf, ttl_estimator) -> QuaestorServer:
         """Server factory for promoted replicas.
@@ -228,7 +241,7 @@ class QuaestorCluster:
         it dies with the primary and is rebuilt empty here; the cluster
         re-registers the committed queries afterwards.
         """
-        return QuaestorServer(
+        server = QuaestorServer(
             database,
             config=self.config,
             invalidb=InvaliDBCluster(matching_nodes=self._matching_nodes),
@@ -237,6 +250,9 @@ class QuaestorCluster:
             auditor=self.auditor,
             history=self.history,
         )
+        # Promoted primaries keep emitting spans like the server they replace.
+        server.tracer = self.tracer
+        return server
 
     # -- construction helpers ---------------------------------------------------------
 
@@ -336,7 +352,26 @@ class QuaestorCluster:
         below is kept as the exact pre-resilience fast path.
         """
         self.counters.increment("reads")
+        if self.obs_metrics is not None:
+            self.obs_metrics.inc("cluster_requests_total", op="read")
         shard_id = self.router.record_read(collection, document_id)
+        tracer = self.tracer
+        if tracer is not None and tracer.recording:
+            with tracer.span("cluster.read", shard=shard_id):
+                return self._read_routed(
+                    shard_id, collection, document_id, consistency, min_timestamp
+                )
+        return self._read_routed(shard_id, collection, document_id, consistency, min_timestamp)
+
+    def _read_routed(
+        self,
+        shard_id: int,
+        collection: str,
+        document_id: str,
+        consistency: Optional[ConsistencyLevel],
+        min_timestamp: Optional[float],
+    ) -> Response:
+        """Dispatch a routed read: exact pre-resilience fast path, else retry loop."""
         if self.resilience_runtime is None and not self.gray.active:
             try:
                 return self.groups[shard_id].read(
@@ -509,6 +544,16 @@ class QuaestorCluster:
         never created raises from the first shard, like on a single server.
         """
         self.counters.increment("scatter_queries")
+        if self.obs_metrics is not None:
+            self.obs_metrics.inc("cluster_requests_total", op="query")
+        tracer = self.tracer
+        if tracer is not None and tracer.recording:
+            with tracer.span("cluster.scatter", shards=self.num_shards):
+                return self._scatter_gather(query, tracer)
+        return self._scatter_gather(query, None)
+
+    def _scatter_gather(self, query: Query, tracer) -> Response:
+        """The scatter/gather body of :meth:`query` (optionally traced)."""
         now = self.clock.now()
         scatter = self._scatter_query(query)
         prepared = []
@@ -531,9 +576,16 @@ class QuaestorCluster:
                 shard_errors[shard_id] = "request-dropped"
                 continue
             prepared.append(shard.server.prepare_shard_query(query, scatter, deadline=deadline))
+            if tracer is not None:
+                tracer.event("cluster.shard_query", shard=shard_id)
         if shard_errors:
             self.counters.increment("scatter_queries_degraded")
             self.counters.increment("scatter_shard_errors", len(shard_errors))
+            if self.obs_metrics is not None:
+                self.obs_metrics.inc("cluster_shard_errors_total", len(shard_errors))
+            if tracer is not None:
+                for failed_shard, reason in sorted(shard_errors.items()):
+                    tracer.event("cluster.shard_error", shard=failed_shard, reason=reason)
         if not prepared:
             # Every shard is down: nothing to merge, total unavailability.
             self.counters.increment("query_errors")
@@ -550,6 +602,8 @@ class QuaestorCluster:
                 # the fleet-wide abort the two-phase protocol exists for.
                 self.counters.increment("scatter_queries_aborted")
             responses = [read.abort() for read in prepared]
+        if tracer is not None:
+            tracer.event("cluster.gather", shards=len(prepared), degraded=bool(shard_errors))
         return self._merge_query_responses(query, responses, now, shard_errors=shard_errors)
 
     def _scatter_attempt(self, shard_id: int, deadline) -> bool:
@@ -666,39 +720,47 @@ class QuaestorCluster:
         for group in self.groups:
             group.ensure_collection(collection)
         shard_id = self.router.record_write(collection, str(document.get("_id", "")))
-        if self.resilience_runtime is None and not self.gray.active:
-            if not self.groups[shard_id].primary_alive:
-                self.counters.increment("write_errors")
-                return self._unavailable_response(shard_id)
-            return self.shards[shard_id].server.handle_insert(collection, document)
-        return self._write_resilient(
-            shard_id, lambda: self.shards[shard_id].server.handle_insert(collection, document)
+        return self._write_routed(
+            shard_id,
+            "insert",
+            lambda: self.shards[shard_id].server.handle_insert(collection, document),
         )
 
     def update(self, collection: str, document_id: str, update: Document) -> Response:
         self.counters.increment("writes")
         shard_id = self.router.record_write(collection, document_id)
-        if self.resilience_runtime is None and not self.gray.active:
-            if not self.groups[shard_id].primary_alive:
-                self.counters.increment("write_errors")
-                return self._unavailable_response(shard_id)
-            return self.shards[shard_id].server.handle_update(collection, document_id, update)
-        return self._write_resilient(
+        return self._write_routed(
             shard_id,
+            "update",
             lambda: self.shards[shard_id].server.handle_update(collection, document_id, update),
         )
 
     def delete(self, collection: str, document_id: str) -> Response:
         self.counters.increment("writes")
         shard_id = self.router.record_write(collection, document_id)
+        return self._write_routed(
+            shard_id,
+            "delete",
+            lambda: self.shards[shard_id].server.handle_delete(collection, document_id),
+        )
+
+    def _write_routed(self, shard_id: int, op: str, apply) -> Response:
+        """Dispatch a routed write: pre-resilience fast path, else retry loop."""
+        if self.obs_metrics is not None:
+            self.obs_metrics.inc("cluster_requests_total", op="write")
+        tracer = self.tracer
+        if tracer is not None and tracer.recording:
+            with tracer.span("cluster.write", shard=shard_id, op=op):
+                return self._write_dispatch(shard_id, apply)
+        return self._write_dispatch(shard_id, apply)
+
+    def _write_dispatch(self, shard_id: int, apply) -> Response:
         if self.resilience_runtime is None and not self.gray.active:
             if not self.groups[shard_id].primary_alive:
                 self.counters.increment("write_errors")
                 return self._unavailable_response(shard_id)
-            return self.shards[shard_id].server.handle_delete(collection, document_id)
-        return self._write_resilient(
-            shard_id, lambda: self.shards[shard_id].server.handle_delete(collection, document_id)
-        )
+            return apply()
+        return self._write_resilient(shard_id, apply)
 
     def _write_resilient(self, shard_id: int, apply) -> Response:
         """Write with pre-admission retries only (idempotency-aware).

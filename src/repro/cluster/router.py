@@ -38,6 +38,9 @@ class ShardRouter:
             raise ValueError("num_shards must be positive")
         self.ring = ConsistentHashRing(range(num_shards), replicas=replicas)
         self._statistics = ShardStatisticsTable(range(num_shards))
+        #: Optional :class:`repro.obs.TraceRecorder`; when attached, routing
+        #: decisions become ``router.route`` events on the open request span.
+        self.tracer = None
 
     # -- membership ----------------------------------------------------------------
 
@@ -111,11 +114,15 @@ class ShardRouter:
     def record_read(self, collection: str, document_id: str) -> int:
         shard_id = self.shard_for_record(collection, document_id)
         self._statistics.record_read(shard_id)
+        if self.tracer is not None:
+            self.tracer.event("router.route", op="read", shard=shard_id)
         return shard_id
 
     def record_write(self, collection: str, document_id: str) -> int:
         shard_id = self.shard_for_record(collection, document_id)
         self._statistics.record_write(shard_id)
+        if self.tracer is not None:
+            self.tracer.event("router.route", op="write", shard=shard_id)
         return shard_id
 
     def record_writes_at(self, shard_id: int, count: int = 1) -> None:

@@ -225,6 +225,8 @@ class ReadPipeline:
     def run_record_read(self, collection: str, document_id: str) -> Response:
         """The single-record path (``handle_read``)."""
         server = self.server
+        if server.tracer is not None:
+            server.tracer.event("pipeline.record_read", collection=collection)
         now = server.now()
         try:
             document = server.database.get(collection, document_id)
@@ -258,7 +260,10 @@ class ReadPipeline:
 
         if not server.config.cache_queries:
             return self._uncacheable_client_response(ctx)
-        if not self.probe_admission(ctx):
+        admitted = self.probe_admission(ctx)
+        if server.tracer is not None:
+            server.tracer.event("pipeline.admission", admitted=admitted)
+        if not admitted:
             return self._uncacheable_client_response(ctx)
 
         self.estimate_ttl(ctx)
@@ -307,6 +312,8 @@ class ReadPipeline:
                 server.counters.increment("deadline_skipped_probes")
             else:
                 self.probe_admission(ctx)
+        if server.tracer is not None:
+            server.tracer.event("pipeline.shard_probe", admitted=ctx.admitted)
         return PreparedShardRead(self, ctx, body)
 
     def _uncacheable_client_response(self, ctx: ReadContext) -> Response:
@@ -367,6 +374,8 @@ class PreparedShardRead:
             raise ValueError("cannot commit a shard read that was not admitted")
         self._resolve()
         pipeline, ctx = self._pipeline, self.ctx
+        if pipeline.server.tracer is not None:
+            pipeline.server.tracer.event("pipeline.shard_commit")
         if not pipeline.commit_admission(ctx):
             pipeline.server.counters.increment("queries_uncacheable")
             return Response.uncacheable(self.body)
@@ -391,6 +400,8 @@ class PreparedShardRead:
         once the query cools down.
         """
         self._resolve()
+        if self._pipeline.server.tracer is not None:
+            self._pipeline.server.tracer.event("pipeline.shard_abort", admitted=self.admitted)
         if self.admitted:
             self._pipeline.abort_admission(self.ctx)
             self._pipeline.server.counters.increment("shard_queries_aborted")

@@ -132,6 +132,10 @@ class QuaestorServer:
         #: Optional history recorder mirroring every authoritative version
         #: install for offline consistency checking (:mod:`repro.verify`).
         self.history = history
+        #: Optional :class:`repro.obs.TraceRecorder`; events are only emitted
+        #: inside an open (sampled) request span, so background notification
+        #: pumps stay silent.
+        self.tracer = None
         self.counters = Counter()
         self.pipeline = ReadPipeline(self)
 
@@ -384,6 +388,8 @@ class QuaestorServer:
             return
 
         self.counters.increment("query_invalidations")
+        if self.tracer is not None:
+            self.tracer.event("invalidb.notify", key=query_key)
         actual_ttl = self.active_list.record_invalidation(query_key, notification.timestamp)
         if actual_ttl is not None:
             self.ttl_estimator.observe_query_invalidation(
@@ -400,6 +406,8 @@ class QuaestorServer:
         added = self.ebf.report_invalidation(key, timestamp)
         if added:
             self.counters.increment("ebf_additions")
+        if self.tracer is not None:
+            self.tracer.event("invalidb.invalidate", key=key, ebf_added=added)
         self.counters.increment("purges_sent")
         for target in self._purge_targets:
             if isinstance(target, InvalidationCache):

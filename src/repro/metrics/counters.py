@@ -13,9 +13,22 @@ class Counter:
         self._counts: Dict[str, int] = defaultdict(int)
 
     def increment(self, name: str, amount: int = 1) -> int:
-        """Increase ``name`` by ``amount`` and return the new value."""
-        self._counts[name] += amount
-        return self._counts[name]
+        """Increase ``name`` by ``amount`` and return the new value.
+
+        Counters are monotone event tallies; a decrement that would take the
+        total below zero is a modelling bug, not a measurement, and raises.
+        Values that legitimately fall (queue depths, in-flight requests)
+        belong in :class:`repro.obs.Gauge` instead.
+        """
+        new_value = self._counts[name] + amount
+        if new_value < 0:
+            raise ValueError(
+                f"counter {name!r} cannot go below zero "
+                f"(value={self._counts[name]}, amount={amount}); "
+                f"use a gauge for values that fall"
+            )
+        self._counts[name] = new_value
+        return new_value
 
     def get(self, name: str) -> int:
         return self._counts.get(name, 0)
@@ -47,7 +60,14 @@ class ThroughputWindow:
         self._last_timestamp: Optional[float] = None
 
     def record(self, timestamp: float, operations: int = 1) -> None:
-        """Record ``operations`` completions at ``timestamp``."""
+        """Record ``operations`` completions at ``timestamp``.
+
+        Contract: the window spans the *first* recorded timestamp to the
+        *last* recorded one.  A single sample spans zero seconds (throughput
+        reads 0.0 -- no elapsed time to divide by), and a last timestamp
+        behind the first (out-of-order recording) clamps the duration to
+        zero rather than going negative.
+        """
         if operations < 0:
             raise ValueError("operations must be non-negative")
         if self._first_timestamp is None:

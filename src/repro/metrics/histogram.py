@@ -110,14 +110,27 @@ class Histogram:
         return [(point, bisect.bisect_right(ordered, point) / total) for point in points]
 
     def buckets(self, width: float, maximum: Optional[float] = None) -> Dict[float, int]:
-        """Fixed-width bucket counts keyed by bucket lower bound (Figure 8f)."""
+        """Fixed-width bucket counts keyed by bucket lower bound (Figure 8f).
+
+        With a ``maximum``, every sample at or beyond it is folded into the
+        last bucket that still starts *below* the cap, so no returned lower
+        bound ever reaches ``maximum``.  A cap that is not a multiple of
+        ``width`` keeps its final partial bucket (e.g. ``width=1.0,
+        maximum=10.5`` tops out at bucket ``10.0``).
+        """
         if width <= 0:
             raise ValueError("bucket width must be positive")
         counts: Dict[float, int] = {}
         cap = maximum if maximum is not None else (self.maximum + width)
+        # The overflow bucket: the largest multiple of width strictly below
+        # the cap.  Without it, a sample equal to the cap would floor into a
+        # bucket *starting at* the cap -- outside the requested range.
+        last_bucket = math.floor(cap / width) * width
+        if last_bucket >= cap:
+            last_bucket = max(0.0, last_bucket - width)
         for value in self._samples:
-            clamped = min(value, cap)
-            bucket = math.floor(clamped / width) * width
+            bucket = math.floor(min(value, cap) / width) * width
+            bucket = min(bucket, last_bucket)
             counts[bucket] = counts.get(bucket, 0) + 1
         return dict(sorted(counts.items()))
 

@@ -1,0 +1,224 @@
+"""Labeled metrics registry with deterministic time-series snapshots.
+
+Unlike ``repro.metrics.Counter`` (a flat name→int map used by the benchmark
+harness), the registry keys every instrument by ``(name, label-tuple)`` —
+the Prometheus data model — and can snapshot the counter/gauge state onto a
+sim-time epoch grid so a metric can be watched *evolving* during a scenario.
+
+Three instrument kinds:
+
+* **counter** — monotone; ``inc`` rejects negative amounts (decrements are
+  a modelling bug for counters — use a gauge).
+* **gauge** (:class:`Gauge`) — a level that may go up *and* down: queue
+  depths, open breakers, cache residency.
+* **histogram** — raw sample lists (deterministically merged across
+  partitions by concatenation in partition order); exposition derives
+  count/sum/quantiles.
+
+Determinism contract: publishing draws no RNG and reads nothing but the
+values handed to it plus explicitly supplied timestamps, so enabling the
+registry cannot change any seeded summary.  ``state()`` is a picklable,
+canonically-sorted tuple — the surface ``ParallelSimulator`` ships across
+the spawn boundary and ``merge_states`` folds in partition-id order.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["Gauge", "MetricsRegistry", "merge_states", "canonical_metrics_bytes"]
+
+LabelKey = Tuple[Tuple[str, object], ...]
+
+
+def _label_key(labels: dict) -> LabelKey:
+    return tuple(sorted(labels.items()))
+
+
+class Gauge:
+    """A value that may move in either direction.
+
+    This is the explicit home for decrements: ``repro.metrics.Counter`` (and
+    the registry's counters) are monotone and refuse to go below zero, so
+    anything that legitimately falls — in-flight requests, open circuit
+    breakers, backlog depth — is modelled as a gauge instead.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: float = 0.0) -> None:
+        self.value = value
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, delta: float) -> float:
+        """Apply a (possibly negative) delta and return the new level."""
+        self.value += delta
+        return self.value
+
+
+class MetricsRegistry:
+    """Counters, gauges and histograms keyed by ``(name, label-tuple)``."""
+
+    __slots__ = ("interval", "_counters", "_gauges", "_histograms", "_series")
+
+    def __init__(self, interval: float = 1.0) -> None:
+        if interval <= 0.0:
+            raise ValueError("interval must be positive")
+        self.interval = interval
+        self._counters: Dict[Tuple[str, LabelKey], float] = {}
+        self._gauges: Dict[Tuple[str, LabelKey], Gauge] = {}
+        self._histograms: Dict[Tuple[str, LabelKey], List[float]] = {}
+        self._series: List[tuple] = []
+
+    # ------------------------------------------------------------------ write
+    def inc(self, name: str, amount: float = 1, **labels) -> float:
+        """Increment a monotone counter; negative amounts are rejected."""
+        if amount < 0:
+            raise ValueError(
+                f"counter {name!r} is monotone and cannot be decremented "
+                f"(amount={amount!r}); use a Gauge for values that fall"
+            )
+        key = (name, _label_key(labels))
+        value = self._counters.get(key, 0) + amount
+        self._counters[key] = value
+        return value
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        """The gauge for this label set, created at zero on first use."""
+        key = (name, _label_key(labels))
+        gauge = self._gauges.get(key)
+        if gauge is None:
+            gauge = Gauge()
+            self._gauges[key] = gauge
+        return gauge
+
+    def observe(self, name: str, value: float, **labels) -> None:
+        """Record one histogram sample."""
+        key = (name, _label_key(labels))
+        samples = self._histograms.get(key)
+        if samples is None:
+            samples = []
+            self._histograms[key] = samples
+        samples.append(value)
+
+    def sample(self, timestamp: float) -> None:
+        """Snapshot counters and gauges onto the time series at ``timestamp``.
+
+        The caller supplies the timestamp (an epoch-grid boundary or the
+        run's stop time) so snapshots are reproducible and per-partition
+        grids line up at merge time.
+        """
+        counters = tuple(
+            sorted((name, labels, value) for (name, labels), value in self._counters.items())
+        )
+        gauges = tuple(
+            sorted((name, labels, gauge.value) for (name, labels), gauge in self._gauges.items())
+        )
+        self._series.append((timestamp, counters, gauges))
+
+    # ------------------------------------------------------------------- read
+    def counter_value(self, name: str, **labels) -> float:
+        return self._counters.get((name, _label_key(labels)), 0)
+
+    def gauge_value(self, name: str, **labels) -> float:
+        gauge = self._gauges.get((name, _label_key(labels)))
+        return 0.0 if gauge is None else gauge.value
+
+    def histogram_samples(self, name: str, **labels) -> Tuple[float, ...]:
+        return tuple(self._histograms.get((name, _label_key(labels)), ()))
+
+    def series(self) -> Tuple[tuple, ...]:
+        return tuple(self._series)
+
+    def state(self) -> tuple:
+        """Picklable, canonically-sorted snapshot of the whole registry.
+
+        Shape: ``(counters, gauges, histograms, series)`` where the first
+        three are ``(name, label_tuple, value-or-samples)`` rows sorted by
+        key and ``series`` is the snapshot list in record order.
+        """
+        counters = tuple(
+            sorted((name, labels, value) for (name, labels), value in self._counters.items())
+        )
+        gauges = tuple(
+            sorted((name, labels, gauge.value) for (name, labels), gauge in self._gauges.items())
+        )
+        histograms = tuple(
+            sorted(
+                (name, labels, tuple(samples))
+                for (name, labels), samples in self._histograms.items()
+            )
+        )
+        return (counters, gauges, histograms, tuple(self._series))
+
+
+def merge_states(states: Sequence[tuple]) -> tuple:
+    """Fold per-partition ``MetricsRegistry.state()`` tuples, in order.
+
+    Counters and gauges sum; histogram sample lists concatenate in
+    partition-id order; time-series snapshots group by timestamp (the epoch
+    grid is global, so partitions that crossed the same boundary sum there)
+    and sort by time.  Folding in partition order makes the merged state
+    worker-count invariant and byte-identical to the serial oracle.
+    """
+    counters: Dict[tuple, float] = {}
+    gauges: Dict[tuple, float] = {}
+    histograms: Dict[tuple, List[float]] = {}
+    series: Dict[float, Tuple[Dict[tuple, float], Dict[tuple, float]]] = {}
+    for state in states:
+        state_counters, state_gauges, state_histograms, state_series = state
+        for name, labels, value in state_counters:
+            key = (name, labels)
+            counters[key] = counters.get(key, 0) + value
+        for name, labels, value in state_gauges:
+            key = (name, labels)
+            gauges[key] = gauges.get(key, 0) + value
+        for name, labels, samples in state_histograms:
+            histograms.setdefault((name, labels), []).extend(samples)
+        for timestamp, snap_counters, snap_gauges in state_series:
+            counter_bucket, gauge_bucket = series.setdefault(timestamp, ({}, {}))
+            for name, labels, value in snap_counters:
+                key = (name, labels)
+                counter_bucket[key] = counter_bucket.get(key, 0) + value
+            for name, labels, value in snap_gauges:
+                key = (name, labels)
+                gauge_bucket[key] = gauge_bucket.get(key, 0) + value
+    merged_series = tuple(
+        (
+            timestamp,
+            tuple(sorted((name, labels, value) for (name, labels), value in buckets[0].items())),
+            tuple(sorted((name, labels, value) for (name, labels), value in buckets[1].items())),
+        )
+        for timestamp, buckets in sorted(series.items())
+    )
+    return (
+        tuple(sorted((name, labels, value) for (name, labels), value in counters.items())),
+        tuple(sorted((name, labels, value) for (name, labels), value in gauges.items())),
+        tuple(
+            sorted((name, labels, tuple(samples)) for (name, labels), samples in histograms.items())
+        ),
+        merged_series,
+    )
+
+
+def _canonical(value):
+    if isinstance(value, float):
+        return repr(value)
+    if isinstance(value, tuple):
+        return [_canonical(item) for item in value]
+    return value
+
+
+def canonical_metrics_bytes(state: tuple) -> bytes:
+    """Byte-exact wire form of a registry state (floats via ``repr``)."""
+    counters, gauges, histograms, series = state
+    payload = {
+        "counters": _canonical(counters),
+        "gauges": _canonical(gauges),
+        "histograms": _canonical(histograms),
+        "series": _canonical(series),
+    }
+    return json.dumps(payload, separators=(",", ":"), sort_keys=True).encode("ascii")

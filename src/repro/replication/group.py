@@ -298,6 +298,14 @@ class ReplicaGroup:
 
         node, is_primary = candidates[self._read_rr % len(candidates)]
         self._read_rr += 1
+        tracer = getattr(self._server, "tracer", None)
+        if tracer is not None:
+            tracer.event(
+                "replica.select",
+                node=node.node_id,
+                candidates=len(candidates),
+                level=level.value,
+            )
         if is_primary:
             return self._primary_read(collection, document_id)
         return self._replica_read(node, collection, document_id, now)

@@ -72,7 +72,7 @@ class RequestTrace:
 class ResilienceRuntime:
     """Mutable resilience state for one cluster (see module docstring)."""
 
-    __slots__ = ("config", "clock", "rng", "_breakers", "_trace")
+    __slots__ = ("config", "clock", "rng", "_breakers", "_trace", "metrics")
 
     def __init__(self, config: ResilienceConfig, clock: Clock) -> None:
         self.config = config
@@ -80,6 +80,9 @@ class ResilienceRuntime:
         self.rng = random.Random(config.seed)
         self._breakers: Dict[str, CircuitBreaker] = {}
         self._trace = RequestTrace()
+        #: Optional :class:`repro.obs.MetricsRegistry`; drained traces publish
+        #: ``resilience_attempts_total`` counters into it.
+        self.metrics = None
 
     # -- retry / deadline ---------------------------------------------------------------
 
@@ -156,4 +159,13 @@ class ResilienceRuntime:
         trace = self._trace
         if not trace.empty:
             self._trace = RequestTrace()
+            if self.metrics is not None:
+                if trace.extra_round_trips:
+                    self.metrics.inc(
+                        "resilience_attempts_total", trace.extra_round_trips, kind="retry"
+                    )
+                if trace.fast_failed:
+                    self.metrics.inc("resilience_attempts_total", kind="fast_fail")
+                if trace.hedged:
+                    self.metrics.inc("resilience_attempts_total", kind="hedge")
         return trace

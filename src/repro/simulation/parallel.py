@@ -230,6 +230,13 @@ class PartitionOutcome:
     #: (:meth:`Simulator.history_tuples`); empty unless the config set
     #: ``record_history``.
     history: Tuple[tuple, ...] = ()
+    #: Recorded trace spans as flat picklable rows
+    #: (:meth:`Simulator.trace_tuples`); empty unless the config enabled
+    #: ``observability`` tracing.
+    trace: Tuple[tuple, ...] = ()
+    #: Metrics registry state (:meth:`Simulator.metrics_state`); ``None``
+    #: unless the config enabled ``observability`` metrics.
+    metrics: Optional[tuple] = None
 
 
 def extract_outcome(
@@ -267,6 +274,8 @@ def extract_outcome(
         recovery_times=tuple(injector.recovery_times()) if injector is not None else (),
         summary=result.summary(),
         history=simulator.history_tuples(),
+        trace=simulator.trace_tuples(),
+        metrics=simulator.metrics_state(),
     )
 
 
@@ -303,6 +312,14 @@ class ParallelSimulationResult:
     #: the serial oracle's merge by construction.  Empty unless the config
     #: set ``record_history``.
     history: Tuple[tuple, ...] = ()
+    #: Partition traces merged in partition-id order with span/parent ids
+    #: offset into one global id space (:func:`repro.obs.merge_trace_tuples`):
+    #: worker-count invariant and byte-identical to the serial oracle.  Empty
+    #: unless the config enabled ``observability`` tracing.
+    trace: Tuple[tuple, ...] = ()
+    #: Merged metrics registry state (:func:`repro.obs.merge_states`);
+    #: ``None`` unless the config enabled ``observability`` metrics.
+    metrics: Optional[tuple] = None
     _summary: Dict[str, float] = field(default_factory=dict)
 
     def summary(self) -> Dict[str, float]:
@@ -314,6 +331,12 @@ class ParallelSimulationResult:
         from repro.verify.history import events_from_tuples
 
         return events_from_tuples(self.history)
+
+    def trace_spans(self) -> Tuple:
+        """The merged trace as :class:`~repro.obs.Span` objects."""
+        from repro.obs import spans_from_tuples
+
+        return tuple(spans_from_tuples(self.trace))
 
 
 def merge_outcomes(
@@ -385,6 +408,22 @@ def merge_outcomes(
     for outcome in ordered:
         for row in outcome.history:
             history.append((len(history),) + row[1:])
+
+    # Trace and metrics merges follow the same partition-order discipline
+    # (span/parent ids offset into one global id space; counters/gauges
+    # summed, histogram samples concatenated, series grouped by epoch).
+    trace: Tuple[tuple, ...] = ()
+    if any(outcome.trace for outcome in ordered):
+        from repro.obs import merge_trace_tuples
+
+        trace = merge_trace_tuples([outcome.trace for outcome in ordered])
+    metrics: Optional[tuple] = None
+    if any(outcome.metrics is not None for outcome in ordered):
+        from repro.obs import merge_states
+
+        metrics = merge_states(
+            [outcome.metrics for outcome in ordered if outcome.metrics is not None]
+        )
 
     def mean_latency_ms(op_class: str) -> float:
         lat_sum, lat_count = latency.get(op_class, (0.0, 0))
@@ -459,6 +498,8 @@ def merge_outcomes(
         outcomes=list(ordered),
         barrier_trace=barrier_trace,
         history=tuple(history),
+        trace=trace,
+        metrics=metrics,
         _summary=summary,
     )
 

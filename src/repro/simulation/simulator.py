@@ -46,6 +46,7 @@ from repro.workloads.operations import Operation, OperationType
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from repro.faults.plan import FaultPlan
+    from repro.obs import MetricsRegistry, ObservabilityConfig, TraceRecorder
     from repro.verify.history import HistoryRecorder
 
 
@@ -144,6 +145,13 @@ class SimulationConfig:
     #: but never influences a simulated decision or RNG draw, so seeded
     #: results are identical with it on or off.
     record_history: bool = False
+    #: Observability layer (:class:`repro.obs.ObservabilityConfig`): request
+    #: spans on the virtual clock plus a labeled metrics registry with
+    #: sim-time series.  Like ``record_history``, recording observes every
+    #: operation but draws no RNG and only reads the clock, so seeded
+    #: results are identical with it on or off.  ``None`` (the default)
+    #: keeps every hot path instrumentation-free.
+    observability: Optional["ObservabilityConfig"] = None
 
     def __post_init__(self) -> None:
         if self.num_clients <= 0 or self.connections_per_client <= 0:
@@ -168,6 +176,11 @@ class SimulationConfig:
             raise ConfigurationError("ttl_estimator must be a TTLEstimatorSpec")
         if self.consistency is not None and not isinstance(self.consistency, ConsistencyLevel):
             raise ConfigurationError("consistency must be a ConsistencyLevel")
+        if self.observability is not None:
+            from repro.obs import ObservabilityConfig
+
+            if not isinstance(self.observability, ObservabilityConfig):
+                raise ConfigurationError("observability must be an ObservabilityConfig")
         if self.workload_phases is not None:
             if not self.workload_phases:
                 raise ConfigurationError("workload_phases must contain at least one phase")
@@ -256,6 +269,24 @@ class Simulator:
             from repro.verify.history import HistoryRecorder
 
             self.history = HistoryRecorder()
+        #: Observability: the trace recorder and metrics registry shared by
+        #: every layer of the deployment.  ``None`` (the default) keeps the
+        #: request path instrumentation-free beyond one ``is None`` check
+        #: per site; when on, recording draws no RNG and only reads the
+        #: clock, so seeded results are value-identical either way.
+        self.tracer: Optional["TraceRecorder"] = None
+        self.metrics_registry: Optional["MetricsRegistry"] = None
+        if config.observability is not None:
+            from repro.obs import MetricsRegistry, TraceRecorder
+
+            if config.observability.trace:
+                self.tracer = TraceRecorder(
+                    self.clock, sample_every=config.observability.sample_every
+                )
+            if config.observability.metrics:
+                self.metrics_registry = MetricsRegistry(
+                    interval=config.observability.metrics_interval
+                )
         #: Replication is "active" when it can change behaviour at all: a
         #: replication factor above one, or faults to inject.  Only then does
         #: the summary grow availability metrics.
@@ -291,6 +322,8 @@ class Simulator:
                 resilience=config.resilience,
                 gray_seed=config.seed,
                 history=self.history,
+                tracer=self.tracer,
+                metrics=self.metrics_registry,
             )
             self.database: Optional[Database] = None
             self.server = ClusterClient(self.cluster)
@@ -306,6 +339,7 @@ class Simulator:
                 auditor=self.auditor,
                 history=self.history,
             )
+            self.server.tracer = self.tracer
 
         #: Fault injection: the plan's crash/recover/partition events enter
         #: the same event queue as the workload, so failures interleave with
@@ -343,6 +377,7 @@ class Simulator:
                 use_ebf=config.mode.uses_ebf,
                 name=f"client-{index}",
                 resilience=config.resilience,
+                tracer=self.tracer,
                 **client_kwargs,
             )
             if config.mode.uses_ebf:
@@ -386,6 +421,20 @@ class Simulator:
         #: (hedged, retried, fast_failed) markers of the operation in flight,
         #: stashed by _drain_resilience for the history recorder.
         self._op_markers: Tuple[bool, bool, bool] = (False, False, False)
+        #: Latency components of the operation in flight: ``(stage, seconds)``
+        #: pairs appended at the exact sites where latency is priced (the
+        #: virtual clock does not advance inside a synchronous request, so
+        #: per-stage attribution must come from the pricing code, not from
+        #: span timestamps).  ``None`` whenever tracing is off.
+        self._trace_parts: Optional[List[Tuple[str, float]]] = None
+        #: Next sim-time epoch boundary at which the metrics registry
+        #: snapshots its time series.  Sampling is lazy -- piggybacked on
+        #: operation execution, never scheduled into the event queue, which
+        #: would advance the clock past the last workload event and change
+        #: the measured duration.
+        self._next_metrics_sample: Optional[float] = (
+            self.metrics_registry.interval if self.metrics_registry is not None else None
+        )
         self._measured_operations = 0
         self._total_operations = 0
         self._warmup_operations = int(config.warmup_fraction * config.max_operations)
@@ -479,6 +528,10 @@ class Simulator:
         if not self._finalized:
             self._finalized = True
             self._stopped_at = self.clock.now()
+            if self.metrics_registry is not None:
+                # Closing snapshot at the (deterministic) stop time so the
+                # series always covers the whole run.
+                self.metrics_registry.sample(self._stopped_at)
         return self._collect_results()
 
     @property
@@ -501,6 +554,24 @@ class Simulator:
         if self.history is None:
             return ()
         return self.history.event_tuples()
+
+    def trace_spans(self) -> Tuple:
+        """The recorded request spans (empty unless tracing is on)."""
+        if self.tracer is None:
+            return ()
+        return self.tracer.spans()
+
+    def trace_tuples(self) -> Tuple[tuple, ...]:
+        """Flat picklable span rows (parallel-merge surface)."""
+        if self.tracer is None:
+            return ()
+        return self.tracer.span_tuples()
+
+    def metrics_state(self) -> Optional[tuple]:
+        """The metrics registry state (parallel-merge surface), or ``None``."""
+        if self.metrics_registry is None:
+            return None
+        return self.metrics_registry.state()
 
     # -- workload buffering ---------------------------------------------------------------------
 
@@ -537,7 +608,32 @@ class Simulator:
         recording = self.history is not None
         if recording:
             self._op_markers = (False, False, False)
+        tracer = self.tracer
+        registry = self.metrics_registry
+        if tracer is not None:
+            self._trace_parts = []
         latency, op_class, key, etag, level, result = self._perform(client, operation)
+        if tracer is not None:
+            # Decorate the completed root span with the priced outcome: the
+            # total modelled latency plus one cost child per latency
+            # component collected at the pricing sites.
+            root = tracer.take_last_root()
+            if root is not None:
+                root.end = start_time + latency
+                root.cost = latency
+                root.attrs["op"] = op_class
+                root.attrs["level"] = level
+                for stage, cost in self._trace_parts:
+                    tracer.attach(root, stage, cost=cost)
+            self._trace_parts = None
+        if registry is not None:
+            # Lazy epoch sampling: snapshot the time series at every grid
+            # boundary this operation's start time has crossed.  The grid is
+            # global (multiples of the interval), so per-partition series
+            # line up exactly at merge time.
+            while start_time >= self._next_metrics_sample:
+                registry.sample(self._next_metrics_sample)
+                self._next_metrics_sample += registry.interval
 
         # Client-side queueing delays the next request of this connection but
         # is not part of the per-request latency the paper reports.
@@ -551,6 +647,9 @@ class Simulator:
             self._measured_operations += 1
             self._record_metrics(op_class, latency)
             self.level_counts[op_class].increment(level)
+            if registry is not None:
+                registry.inc("sim_operations_total", op=op_class, level=level)
+                registry.observe("sim_request_latency_seconds", latency, op=op_class)
             if (
                 self.config.audit_staleness
                 and etag is not None
@@ -562,6 +661,8 @@ class Simulator:
                 stale_counts = self._stale_counts
                 if audit.stale:
                     stale_counts.increment("stale_read" if op_class == "read" else "stale_query")
+                    if registry is not None:
+                        registry.inc("sim_stale_reads_total", op=op_class)
                 if audit.degraded:
                     stale_counts.increment("degraded_served")
                 stale_counts.increment(
@@ -619,30 +720,56 @@ class Simulator:
             result = client.insert(operation.collection, operation.payload)
         else:
             result = client.delete(operation.collection, operation.document_id)
+        parts = self._trace_parts
         if result.level == ERROR_LEVEL:
             # The primary is down: the write failed after a wide-area round
             # trip and consumed no origin capacity.
-            latency = self._drain_resilience(topology.write_latency(), ERROR_LEVEL)
+            probe = topology.write_latency()
+            if parts is not None:
+                parts.append(("net.probe", probe))
+            latency = self._drain_resilience(probe, ERROR_LEVEL)
             return latency, "write", result.key, None, ERROR_LEVEL, result
-        latency = topology.write_latency() + self._origin_wait(write_token)
-        latency = self._gray_write_latency(latency, operation)
-        latency = self._drain_resilience(latency, "origin")
+        base = topology.write_latency()
+        wait = self._origin_wait(write_token)
+        if parts is not None:
+            parts.append(("net.write", base))
+            if wait > 0.0:
+                parts.append(("queue.origin", wait))
+        latency = base + wait
+        inflated = self._gray_write_latency(latency, operation)
+        if parts is not None and inflated != latency:
+            parts.append(("gray.slow", inflated - latency))
+        latency = self._drain_resilience(inflated, "origin")
         return latency, "write", result.key, None, "origin", result
 
     def _read_path_latency(self, level: str, key: Optional[str]) -> float:
         """Latency of a read/query answered at ``level`` plus origin queueing."""
+        parts = self._trace_parts
         if level == SESSION_LEVEL:
+            if parts is not None:
+                parts.append(("net.session", 0.0))
             return 0.0
         if level == ERROR_LEVEL or level == DEGRADED_LEVEL:
             # A failed request still pays the round trip that discovered the
             # outage, but no server processed it.  A stale-if-error serve
             # pays the same discovery round trip before falling back to the
             # expired cache entry.
-            return self.config.topology.origin_round_trip.sample()
+            probe = self.config.topology.origin_round_trip.sample()
+            if parts is not None:
+                parts.append(("net.probe", probe))
+            return probe
         latency = self.config.topology.read_latency(level)
+        if parts is not None:
+            parts.append((f"net.{level}", latency))
         if level == "origin":
-            latency += self._origin_wait_for_key(key)
-            latency = self._gray_origin_latency(latency, key)
+            wait = self._origin_wait_for_key(key)
+            if parts is not None and wait > 0.0:
+                parts.append(("queue.origin", wait))
+            latency += wait
+            inflated = self._gray_origin_latency(latency, key)
+            if parts is not None and inflated != latency:
+                parts.append(("gray.slow", inflated - latency))
+            latency = inflated
         return latency
 
     def _gray_origin_latency(self, latency: float, key: Optional[str]) -> float:
@@ -740,17 +867,36 @@ class Simulator:
                 trace.extra_round_trips > 0,
                 trace.fast_failed,
             )
+        parts = self._trace_parts
         if (
             trace.fast_failed
             and trace.extra_round_trips == 0
             and (level == ERROR_LEVEL or level == DEGRADED_LEVEL)
         ):
+            if parts is not None and latency != 0.0:
+                # The breaker refused before any network attempt: the
+                # discovery round trip priced above was never paid, so the
+                # attribution carries the compensating negative component.
+                parts.append(("resilience.fast_fail", -latency))
             latency = 0.0
         latency += trace.backoff_s
+        if parts is not None:
+            if trace.backoff_s:
+                parts.append(("resilience.backoff", trace.backoff_s))
+            if trace.hedged:
+                parts.append(("resilience.hedge", 0.0))
         if trace.extra_round_trips:
             rtt = self.config.topology.origin_round_trip
-            for _ in range(trace.extra_round_trips):
-                latency += rtt.sample()
+            if parts is None:
+                for _ in range(trace.extra_round_trips):
+                    latency += rtt.sample()
+            else:
+                retry_cost = 0.0
+                for _ in range(trace.extra_round_trips):
+                    step = rtt.sample()
+                    latency += step
+                    retry_cost += step
+                parts.append(("resilience.retry", retry_cost))
         return latency
 
     def _write_token(self, operation: Operation) -> object:

@@ -71,6 +71,37 @@ class TestHistogram:
         buckets = histogram.buckets(width=1.0, maximum=10.0)
         assert max(buckets) <= 10.0
 
+    def test_bucket_value_equal_to_cap_stays_below_it(self):
+        """A sample exactly at the cap must fold into the last bucket that
+        *starts below* the cap, never open a bucket at (or past) it."""
+        histogram = Histogram()
+        histogram.record_many([10.0, 9.5, 1.0])
+        buckets = histogram.buckets(width=1.0, maximum=10.0)
+        assert max(buckets) < 10.0
+        assert buckets == {1.0: 1, 9.0: 2}
+
+    def test_bucket_value_beyond_cap_clamps_to_last_bucket(self):
+        histogram = Histogram()
+        histogram.record_many([500.0, 10.0, 10.0001])
+        buckets = histogram.buckets(width=2.0, maximum=10.0)
+        assert buckets == {8.0: 3}
+
+    def test_bucket_cap_not_a_multiple_of_width(self):
+        """A cap mid-bucket keeps the final partial bucket: its lower bound
+        is below the cap, so overflow samples land there."""
+        histogram = Histogram()
+        histogram.record_many([10.2, 99.0, 3.0])
+        buckets = histogram.buckets(width=1.0, maximum=10.5)
+        assert buckets == {3.0: 1, 10.0: 2}
+        assert max(buckets) < 10.5
+
+    def test_bucket_default_cap_unchanged(self):
+        """Without an explicit maximum the behavior is untouched: every
+        sample keeps its natural bucket."""
+        histogram = Histogram()
+        histogram.record_many([0.5, 1.5, 1.7, 9.0])
+        assert histogram.buckets(width=1.0) == {0.0: 1, 1.0: 2, 9.0: 1}
+
     def test_bucket_width_validation(self):
         with pytest.raises(ValueError):
             Histogram().buckets(0.0)
@@ -121,6 +152,43 @@ class TestCounterAndThroughput:
     def test_negative_operations_rejected(self):
         with pytest.raises(ValueError):
             ThroughputWindow().record(0.0, operations=-1)
+
+    def test_counter_rejects_going_below_zero(self):
+        """Counters are monotone tallies: a decrement below zero is a
+        modelling bug and raises instead of silently going negative."""
+        counter = Counter()
+        counter.increment("hits", 2)
+        with pytest.raises(ValueError, match="below zero"):
+            counter.increment("hits", -3)
+        # The failed decrement must not corrupt the stored total.
+        assert counter.get("hits") == 2
+        # Decrements that stay at or above zero remain legal.
+        assert counter.increment("hits", -2) == 0
+
+    def test_counter_rejects_initial_decrement(self):
+        with pytest.raises(ValueError, match="below zero"):
+            Counter().increment("fresh", -1)
+
+    def test_throughput_single_sample_spans_zero_seconds(self):
+        """Contract: one recorded timestamp means a zero-length window --
+        duration 0.0 and throughput 0.0 (no elapsed time to divide by)."""
+        window = ThroughputWindow()
+        window.record(42.0, operations=5)
+        assert window.operations == 5
+        assert window.duration == 0.0
+        assert window.throughput() == 0.0
+
+    def test_throughput_out_of_order_timestamps_clamp_to_zero(self):
+        """Contract: a last timestamp behind the first clamps the duration
+        to zero (never negative), so throughput degrades to 0.0 instead of
+        returning a negative rate."""
+        window = ThroughputWindow()
+        window.record(10.0)
+        window.record(4.0)
+        assert window.duration == 0.0
+        assert window.throughput() == 0.0
+        # An explicit window still works on the recorded operation count.
+        assert window.throughput(window=2.0) == 1.0
 
 
 class TestExperimentReport:

@@ -20,6 +20,7 @@ FAST_EXAMPLES = [
     "realtime_dashboard.py",
     "failover_drill.py",
     "consistency_audit.py",
+    "latency_attribution.py",
 ]
 
 
@@ -63,6 +64,20 @@ def test_consistency_audit_prints_verdicts_and_passes(capsys):
     # ...the audit is clean and the self-test is not vacuous.
     assert "PASS" in output and "FAIL" not in output
     assert "MISSED" not in output and "detected" in output
+
+
+def test_latency_attribution_breaks_down_p50_vs_p99(capsys):
+    runpy.run_path(str(EXAMPLES_DIR / "latency_attribution.py"), run_name="__main__")
+    output = capsys.readouterr().out
+    # Both percentile breakdowns are printed...
+    assert "top stages at p50" in output
+    assert "top stages at p99" in output
+    # ...the brownout actually fired and shows up as attributed stages...
+    assert "faults injected" in output
+    assert "gray.slow" in output and "net.origin" in output
+    # ...and the fleet-wide table reports (full) attribution coverage.
+    assert "fleet-wide attribution" in output
+    assert "coverage min 1.00" in output
 
 
 def test_failover_drill_shows_the_availability_story(capsys):
